@@ -1,0 +1,82 @@
+// Command repro regenerates the paper's evaluation: every table and figure
+// of Slota, Rajamanickam, Madduri (IPDPS 2016) at configurable scale.
+//
+// Usage:
+//
+//	repro all                    # every experiment at default scale
+//	repro table4 fig3            # specific experiments
+//	repro -scale 4 -ranks 1,2,4,8,16 fig2
+//
+// Output is a text rendering of each table/figure; notes under each table
+// state the paper-reported values or shapes the measurement should be
+// compared against (see EXPERIMENTS.md for a recorded comparison).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 1.0, "workload scale multiplier (1.0 = laptop defaults)")
+		ranks   = flag.String("ranks", "1,2,4,8", "comma-separated rank counts for scaling experiments")
+		threads = flag.Int("threads", 1, "worker threads per rank")
+		seed    = flag.Uint64("seed", 0xC0FFEE, "workload seed")
+		tmp     = flag.String("tmpdir", "", "directory for temporary edge files")
+	)
+	flag.Parse()
+
+	cfg := harness.Default()
+	cfg.Scale = *scale
+	cfg.Threads = *threads
+	cfg.Seed = *seed
+	cfg.TmpDir = *tmp
+	cfg.Ranks = nil
+	for _, part := range strings.Split(*ranks, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "repro: bad rank count %q\n", part)
+			os.Exit(2)
+		}
+		cfg.Ranks = append(cfg.Ranks, v)
+	}
+
+	keys := flag.Args()
+	if len(keys) == 0 {
+		fmt.Fprintln(os.Stderr, "repro: name experiments to run, or 'all'")
+		fmt.Fprintln(os.Stderr, "available:")
+		for _, e := range harness.Experiments() {
+			fmt.Fprintf(os.Stderr, "  %s\n", e.Key)
+		}
+		os.Exit(2)
+	}
+	if len(keys) == 1 && keys[0] == "all" {
+		if err := harness.RunAll(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, key := range keys {
+		exp, err := harness.Lookup(key)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(2)
+		}
+		rep, err := exp.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", key, err)
+			os.Exit(1)
+		}
+		if err := rep.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Webstructure reproduces the paper's Section VI analysis on a synthetic
+// crawl: Label Propagation communities with Table V-style statistics, the
+// community-size frequency distribution (Figure 5), and the coreness
+// upper-bound distribution from the approximate k-core analytic (Figure 6).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/gen"
+)
+
+func main() {
+	var (
+		ranks = flag.Int("ranks", 4, "cluster ranks")
+		nFlag = flag.Uint("n", 1<<16, "vertices")
+	)
+	flag.Parse()
+
+	cluster := repro.NewCluster(*ranks, 1)
+	defer cluster.Close()
+
+	// A crawl-like graph with planted heavy-tailed community structure.
+	n := uint32(*nFlag)
+	spec := gen.PlantedSpec{
+		NumVertices:    n,
+		NumEdges:       uint64(n) * 16,
+		NumCommunities: int(n / 64),
+		IntraProb:      0.85,
+		Seed:           7,
+	}
+	edges, err := spec.GenerateAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := cluster.FromEdges(n, edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthetic crawl: %d vertices, %d edges, %d planted communities\n\n",
+		g.NumVertices(), g.NumEdges(), spec.NumCommunities)
+
+	// Table V: top communities after 10 and 30 LP iterations.
+	for _, iters := range []int{10, 30} {
+		stats, err := g.TopCommunities(iters, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("top communities after %d Label Propagation iterations:\n", iters)
+		fmt.Printf("  %-10s %10s %12s %12s %10s\n", "label", "n_in", "m_in", "m_cut", "in/cut")
+		for _, s := range stats {
+			ratio := float64(s.MIn)
+			if s.MCut > 0 {
+				ratio = float64(s.MIn) / float64(s.MCut)
+			}
+			fmt.Printf("  %-10d %10d %12d %12d %10.2f\n", s.Label, s.N, s.MIn, s.MCut, ratio)
+		}
+		fmt.Println()
+	}
+
+	// Figure 5: community size frequency (via the label histogram).
+	labels, err := g.LabelPropagation(30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sizes := map[uint32]uint64{}
+	for _, l := range labels {
+		sizes[l]++
+	}
+	bins := map[int]int{}
+	maxBin := 0
+	for _, s := range sizes {
+		b := 0
+		for (uint64(1) << (b + 1)) <= s {
+			b++
+		}
+		bins[b]++
+		if b > maxBin {
+			maxBin = b
+		}
+	}
+	fmt.Printf("community size distribution (%d communities):\n", len(sizes))
+	for b := 0; b <= maxBin; b++ {
+		if bins[b] == 0 {
+			continue
+		}
+		fmt.Printf("  size [%7d,%7d): %6d communities\n", uint64(1)<<b, uint64(1)<<(b+1), bins[b])
+	}
+	fmt.Println()
+
+	// Figure 6: coreness upper-bound cumulative distribution.
+	ub, err := g.KCore(20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := map[uint32]uint64{}
+	for _, u := range ub {
+		counts[u]++
+	}
+	fmt.Println("coreness upper-bound distribution:")
+	var cum uint64
+	for k := uint32(2); ; k <<= 1 {
+		c, ok := counts[k]
+		cum += c
+		if ok {
+			fmt.Printf("  coreness <= %8d: %6.2f%% of vertices\n",
+				k, 100*float64(cum)/float64(len(ub)))
+		}
+		if k >= 1<<20 {
+			break
+		}
+	}
+}

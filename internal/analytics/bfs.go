@@ -1,0 +1,197 @@
+package analytics
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/par"
+)
+
+// Dir selects traversal direction for BFS-like analytics.
+type Dir int
+
+// Traversal directions.
+const (
+	// Forward follows out-edges.
+	Forward Dir = iota
+	// Backward follows in-edges.
+	Backward
+	// Und follows both, treating the graph as undirected.
+	Und
+)
+
+// Status sentinels for BFS-like analytics (the paper's Status array uses
+// -2 unvisited / -1 discovered / >=0 level).
+const (
+	statusUnvisited int32 = -2
+	statusPending   int32 = -1
+)
+
+// BFSResult carries per-owned-vertex levels and traversal metadata.
+type BFSResult struct {
+	// Levels[v] is the BFS depth of owned local vertex v, or -1 if
+	// unreachable from the root.
+	Levels []int32
+	// Reached is the global number of vertices visited (including the
+	// root).
+	Reached uint64
+	// Depth is the eccentricity observed: the last level populated.
+	Depth int
+}
+
+// BFS runs the paper's Algorithm 2: level-synchronous distributed BFS from
+// the global vertex root. Vertices discovered locally join the local next
+// queue; ghost discoveries are sent to their owners at the level boundary
+// with one Alltoallv; the loop ends when the global frontier empties.
+func BFS(ctx *core.Ctx, g *core.Graph, root uint32, dir Dir) (*BFSResult, error) {
+	if root >= g.NGlobal {
+		return nil, fmt.Errorf("analytics: BFS root %d outside %d vertices", root, g.NGlobal)
+	}
+	status := newStatus(g)
+	var queue []uint32
+	if lid := g.LocalID(root); lid != core.InvalidLocal && lid < g.NLoc {
+		status[lid] = statusPending
+		queue = append(queue, lid)
+	}
+	reached := uint64(0)
+	depth := -1
+
+	globalSize := uint64(1)
+	for level := int32(0); globalSize != 0; level++ {
+		next, send, err := expandFrontier(ctx, g, status, queue, level, dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(queue) > 0 {
+			depth = int(level)
+		}
+		reached += uint64(len(queue))
+		arrived, err := exchangeFrontier(ctx, g, send)
+		if err != nil {
+			return nil, err
+		}
+		for _, lid := range arrived {
+			// Owner-side dedup: several ranks may discover the same
+			// vertex in one level.
+			if status[lid] == statusUnvisited {
+				status[lid] = statusPending
+				next = append(next, lid)
+			}
+		}
+		queue = next
+		globalSize, err = comm.Allreduce(ctx.Comm, uint64(len(queue)), comm.OpSum)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	levels := make([]int32, g.NLoc)
+	for v := range levels {
+		if s := status[v]; s >= 0 {
+			levels[v] = s
+		} else {
+			levels[v] = -1
+		}
+	}
+	total, err := comm.Allreduce(ctx.Comm, reached, comm.OpSum)
+	if err != nil {
+		return nil, err
+	}
+	maxDepth, err := comm.Allreduce(ctx.Comm, int64(depth), comm.OpMax)
+	if err != nil {
+		return nil, err
+	}
+	return &BFSResult{Levels: levels, Reached: total, Depth: int(maxDepth)}, nil
+}
+
+// newStatus allocates a status array over owned and ghost vertices,
+// initialized to unvisited.
+func newStatus(g *core.Graph) []int32 {
+	status := make([]int32, g.NTotal())
+	for i := range status {
+		status[i] = statusUnvisited
+	}
+	return status
+}
+
+// expandFrontier finalizes the current queue at the given level and expands
+// each member's selected adjacency, claiming unvisited neighbors with a
+// compare-and-swap: local claims join the returned next queue, ghost claims
+// join the send list. Thread-parallel with per-thread staging (the paper's
+// Algorithm 3 applied to the BFS queues).
+func expandFrontier(ctx *core.Ctx, g *core.Graph, status []int32, queue []uint32, level int32, dir Dir) (next, send []uint32, err error) {
+	nt := ctx.Pool.Threads()
+	nextPer := make([][]uint32, nt)
+	sendPer := make([][]uint32, nt)
+	ctx.Pool.For(len(queue), func(lo, hi, tid int) {
+		var nxt, snd []uint32
+		visit := func(u uint32) {
+			if atomic.CompareAndSwapInt32(&status[u], statusUnvisited, statusPending) {
+				if u < g.NLoc {
+					nxt = append(nxt, u)
+				} else {
+					snd = append(snd, u)
+				}
+			}
+		}
+		for i := lo; i < hi; i++ {
+			v := queue[i]
+			atomic.StoreInt32(&status[v], level)
+			if dir == Forward || dir == Und {
+				for _, u := range g.OutNeighbors(v) {
+					visit(u)
+				}
+			}
+			if dir == Backward || dir == Und {
+				for _, u := range g.InNeighbors(v) {
+					visit(u)
+				}
+			}
+		}
+		nextPer[tid] = append(nextPer[tid], nxt...)
+		sendPer[tid] = append(sendPer[tid], snd...)
+	})
+	for t := 0; t < nt; t++ {
+		next = append(next, nextPer[t]...)
+		send = append(send, sendPer[t]...)
+	}
+	return next, send, nil
+}
+
+// exchangeFrontier routes ghost local ids to their owning ranks (as global
+// ids, the only currency ranks share) and returns the owned local ids that
+// arrived here. Callers deduplicate against their own status arrays.
+func exchangeFrontier(ctx *core.Ctx, g *core.Graph, ghostLids []uint32) ([]uint32, error) {
+	p := ctx.Size()
+	counts := make([]uint64, p)
+	for _, u := range ghostLids {
+		counts[g.GhostOwner[u-g.NLoc]]++
+	}
+	offsets, total := par.ExclusivePrefixSum(counts)
+	vsend := make([]uint32, total)
+	cur := append([]uint64(nil), offsets[:p]...)
+	for _, u := range ghostLids {
+		d := g.GhostOwner[u-g.NLoc]
+		vsend[cur[d]] = g.GlobalID(u)
+		cur[d]++
+	}
+	sendCounts := make([]int, p)
+	for d, c := range counts {
+		sendCounts[d] = int(c)
+	}
+	recv, _, err := comm.Alltoallv(ctx.Comm, vsend, sendCounts)
+	if err != nil {
+		return nil, err
+	}
+	lids := make([]uint32, len(recv))
+	for i, gid := range recv {
+		lid := g.LocalID(gid)
+		if lid == core.InvalidLocal || lid >= g.NLoc {
+			return nil, fmt.Errorf("analytics: frontier vertex %d arrived at non-owner", gid)
+		}
+		lids[i] = lid
+	}
+	return lids, nil
+}

@@ -1,0 +1,141 @@
+package analytics
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/edge"
+)
+
+func TestApproxDiameterChain(t *testing.T) {
+	// Undirected diameter of a 10-vertex directed chain is 9; the double
+	// sweep finds it exactly.
+	var l edge.List
+	for i := uint32(0); i < 9; i++ {
+		l.Push(i, i+1)
+	}
+	tg := testGraph{name: "chain10", n: 10, edges: l}
+	runConfigs(t, tg, func(ctx *core.Ctx, g *core.Graph) error {
+		d, err := ApproxDiameter(ctx, g, 3)
+		if err != nil {
+			return err
+		}
+		if d != 9 {
+			return fmt.Errorf("diameter = %d, want 9", d)
+		}
+		return nil
+	})
+}
+
+func TestApproxDiameterCycle(t *testing.T) {
+	var l edge.List
+	const n = 12
+	for i := uint32(0); i < n; i++ {
+		l.Push(i, (i+1)%n)
+	}
+	tg := testGraph{name: "cycle12", n: n, edges: l}
+	runConfigs(t, tg, func(ctx *core.Ctx, g *core.Graph) error {
+		d, err := ApproxDiameter(ctx, g, 3)
+		if err != nil {
+			return err
+		}
+		if d != n/2 {
+			return fmt.Errorf("diameter = %d, want %d", d, n/2)
+		}
+		return nil
+	})
+}
+
+func TestEdgeOracle(t *testing.T) {
+	l := edge.List{0, 1, 1, 2, 2, 0, 3, 3}
+	tg := testGraph{name: "oracle", n: 5, edges: l}
+	runConfigs(t, tg, func(ctx *core.Ctx, g *core.Graph) error {
+		o := NewEdgeOracle(g)
+		queries := [][2]uint32{
+			{0, 1}, // yes
+			{1, 0}, // no (directed)
+			{2, 0}, // yes
+			{3, 3}, // yes (self loop)
+			{4, 0}, // no (isolated)
+			{0, 1}, // duplicate query, yes
+		}
+		// Spread query load unevenly: only rank 0 asks, others empty.
+		mine := queries
+		if ctx.Rank() != 0 {
+			mine = nil
+		}
+		got, err := o.Query(ctx, mine)
+		if err != nil {
+			return err
+		}
+		if ctx.Rank() != 0 {
+			if len(got) != 0 {
+				return fmt.Errorf("empty batch returned %d answers", len(got))
+			}
+			return nil
+		}
+		want := []bool{true, false, true, true, false, true}
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("query %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+		return nil
+	})
+}
+
+func TestClusteringCoefficientTriangle(t *testing.T) {
+	// A bidirectional triangle: every wedge closes.
+	l := edge.List{0, 1, 1, 0, 1, 2, 2, 1, 0, 2, 2, 0}
+	tg := testGraph{name: "triangle", n: 3, edges: l}
+	runConfigs(t, tg, func(ctx *core.Ctx, g *core.Graph) error {
+		cc, wedges, err := ClusteringCoefficient(ctx, g, 50, 3)
+		if err != nil {
+			return err
+		}
+		if wedges == 0 {
+			return fmt.Errorf("no wedges sampled")
+		}
+		if cc != 1.0 {
+			return fmt.Errorf("triangle CC = %v, want 1", cc)
+		}
+		return nil
+	})
+}
+
+func TestClusteringCoefficientStar(t *testing.T) {
+	// A star has no closed wedges.
+	var l edge.List
+	for i := uint32(1); i < 8; i++ {
+		l.Push(0, i)
+	}
+	tg := testGraph{name: "star8", n: 8, edges: l}
+	runConfigs(t, tg, func(ctx *core.Ctx, g *core.Graph) error {
+		cc, wedges, err := ClusteringCoefficient(ctx, g, 50, 3)
+		if err != nil {
+			return err
+		}
+		if wedges == 0 {
+			return fmt.Errorf("no wedges sampled")
+		}
+		if cc != 0 {
+			return fmt.Errorf("star CC = %v, want 0", cc)
+		}
+		return nil
+	})
+}
+
+func TestClusteringCoefficientEmpty(t *testing.T) {
+	tg := testGraph{name: "empty", n: 4, edges: nil}
+	runConfigs(t, tg, func(ctx *core.Ctx, g *core.Graph) error {
+		cc, wedges, err := ClusteringCoefficient(ctx, g, 10, 3)
+		if err != nil {
+			return err
+		}
+		if cc != 0 || wedges != 0 {
+			return fmt.Errorf("empty graph CC = %v over %d wedges", cc, wedges)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,187 @@
+// Package analytics implements the paper's six graph analytics on the
+// distributed graph of the core package, in the paper's two algorithmic
+// classes:
+//
+//   - PageRank-like (§III-D1): every vertex propagates a per-vertex value to
+//     its neighbors every iteration. PageRank, Label Propagation, and the
+//     coloring phases of WCC/SCC/k-core work this way, all built on the
+//     retained-queue Halo in this file.
+//   - BFS-like (§III-D2): a sparse frontier expands over adjacency lists;
+//     per-vertex updates happen at the owning rank. BFS, the traversal
+//     phases of WCC/SCC, Harmonic Centrality, and the k-core peel work this
+//     way, built on the frontier machinery in bfs.go.
+//
+// All functions must be called collectively by every rank of the graph's
+// group, like MPI routines.
+package analytics
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/par"
+)
+
+// Halo is the paper's retained send/receive queues for PageRank-like
+// phases. Building it costs one counting pass over local edges plus one
+// global-id exchange; afterwards every iteration refreshes all ghost copies
+// with a single value-only Alltoallv — the paper's two queue optimizations
+// (halve traffic by resending only values; never rebuild the queues).
+type Halo struct {
+	// sendVerts lists the owned local ids whose value must be shipped,
+	// grouped by destination rank; sendCounts are the per-rank group
+	// sizes. A vertex appears once per rank that needs it.
+	sendVerts  []uint32
+	sendCounts []int
+	// recvLids lists the ghost local ids that incoming values update, in
+	// exactly the order values arrive (the paper's vRecv after its one-time
+	// global-to-local conversion).
+	recvLids []uint32
+}
+
+// Dirs selects which adjacency directions a halo covers: a vertex's value
+// is sent to ranks owning its out-neighbors (Out), its in-neighbors (In),
+// or both (the union, for undirected-style analytics).
+type Dirs struct{ Out, In bool }
+
+// DirsOut ships values along out-edges: afterwards every rank holds fresh
+// values for all in-neighbors of its owned vertices (what PageRank pulls).
+var DirsOut = Dirs{Out: true}
+
+// DirsBoth ships values along both directions: afterwards every ghost copy
+// on every rank is fresh (what Label Propagation and the coloring phases
+// need).
+var DirsBoth = Dirs{Out: true, In: true}
+
+// BuildHalo constructs the retained queues for the given directions.
+func BuildHalo(ctx *core.Ctx, g *core.Graph, dirs Dirs) (*Halo, error) {
+	p := ctx.Size()
+	nt := ctx.Pool.Threads()
+
+	// Counting pass (Algorithm 1 lines 4-11): for each owned vertex, find
+	// the distinct remote ranks among its selected neighbors.
+	perThread := make([][]uint64, nt)
+	for t := range perThread {
+		perThread[t] = make([]uint64, p)
+	}
+	forEachDest := func(v uint32, tid int, emit func(dest int)) {
+		var seen [64]bool // fast path for p <= 64; falls back below
+		var seenBig []bool
+		if p > 64 {
+			seenBig = make([]bool, p)
+		}
+		mark := func(d int) bool {
+			if seenBig != nil {
+				if seenBig[d] {
+					return false
+				}
+				seenBig[d] = true
+				return true
+			}
+			if seen[d] {
+				return false
+			}
+			seen[d] = true
+			return true
+		}
+		scan := func(nbrs []uint32) {
+			for _, u := range nbrs {
+				if u < g.NLoc {
+					continue
+				}
+				d := int(g.GhostOwner[u-g.NLoc])
+				if mark(d) {
+					emit(d)
+				}
+			}
+		}
+		if dirs.Out {
+			scan(g.OutNeighbors(v))
+		}
+		if dirs.In {
+			scan(g.InNeighbors(v))
+		}
+	}
+	ctx.Pool.For(int(g.NLoc), func(lo, hi, tid int) {
+		counts := perThread[tid]
+		for v := lo; v < hi; v++ {
+			forEachDest(uint32(v), tid, func(d int) { counts[d]++ })
+		}
+	})
+	counts := make([]uint64, p)
+	for _, tc := range perThread {
+		for d, c := range tc {
+			counts[d] += c
+		}
+	}
+	offsets, total := par.ExclusivePrefixSum(counts)
+
+	// Fill pass (Algorithm 3): thread-local queues drain into the grouped
+	// vertex list.
+	sendVerts := make([]uint32, total)
+	shared := par.NewShared(offsets, func(dest int, base uint64, items []uint32) {
+		copy(sendVerts[base:base+uint64(len(items))], items)
+	})
+	ctx.Pool.Run(func(tid int) {
+		lo, hi := par.ThreadRange(int(g.NLoc), nt, tid)
+		buf := shared.Buf(512)
+		for v := lo; v < hi; v++ {
+			forEachDest(uint32(v), tid, func(d int) { buf.Push(d, uint32(v)) })
+		}
+		buf.Flush()
+	})
+
+	sendCounts := make([]int, p)
+	for d, c := range counts {
+		sendCounts[d] = int(c)
+	}
+
+	// One-time global-id exchange; receivers convert to ghost local ids
+	// once and retain them (the paper's "replace global ids with local ids
+	// in vRecv" optimization).
+	gids := make([]uint32, total)
+	for i, v := range sendVerts {
+		gids[i] = g.GlobalID(v)
+	}
+	recvGids, _, err := comm.Alltoallv(ctx.Comm, gids, sendCounts)
+	if err != nil {
+		return nil, err
+	}
+	recvLids := make([]uint32, len(recvGids))
+	for i, gid := range recvGids {
+		lid := g.LocalID(gid)
+		if lid == core.InvalidLocal || lid < g.NLoc {
+			return nil, fmt.Errorf("analytics: halo received vertex %d that is not a ghost here", gid)
+		}
+		recvLids[i] = lid
+	}
+	return &Halo{sendVerts: sendVerts, sendCounts: sendCounts, recvLids: recvLids}, nil
+}
+
+// SendVolume returns the number of values shipped per exchange (the halo's
+// outgoing width).
+func (h *Halo) SendVolume() int { return len(h.sendVerts) }
+
+// RecvVolume returns the number of ghost updates received per exchange.
+func (h *Halo) RecvVolume() int { return len(h.recvLids) }
+
+// Exchange refreshes ghost copies in state (length NTotal) from their
+// owners: one value-only Alltoallv against the retained queues.
+func Exchange[T comm.Scalar](ctx *core.Ctx, h *Halo, state []T) error {
+	send := make([]T, len(h.sendVerts))
+	for i, v := range h.sendVerts {
+		send[i] = state[v]
+	}
+	recv, _, err := comm.Alltoallv(ctx.Comm, send, h.sendCounts)
+	if err != nil {
+		return err
+	}
+	if len(recv) != len(h.recvLids) {
+		return fmt.Errorf("analytics: halo exchange received %d values, want %d", len(recv), len(h.recvLids))
+	}
+	for i, lid := range h.recvLids {
+		state[lid] = recv[i]
+	}
+	return nil
+}

@@ -1,0 +1,326 @@
+package analytics
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/edge"
+	"repro/internal/partition"
+)
+
+// randomGraphCase turns quick-generated raw words into a well-formed graph
+// description: n in [2, 66], edges with endpoints mod n.
+type randomGraphCase struct {
+	n     uint32
+	edges edge.List
+}
+
+func makeCase(nRaw uint8, words []uint32) randomGraphCase {
+	n := uint32(nRaw)%65 + 2
+	if len(words)%2 == 1 {
+		words = words[:len(words)-1]
+	}
+	if len(words) > 512 {
+		words = words[:512]
+	}
+	l := make(edge.List, len(words))
+	for i, w := range words {
+		l[i] = w % n
+	}
+	return randomGraphCase{n: n, edges: l}
+}
+
+// runCase builds the case on 3 ranks with random partitioning and runs
+// body on every rank; returns an error string for quick to report.
+func runCase(tc randomGraphCase, body func(ctx *core.Ctx, g *core.Graph) error) error {
+	return comm.RunLocal(3, func(c *comm.Comm) error {
+		ctx := core.NewCtx(c, 1)
+		pt := partition.NewRandom(tc.n, 3, 11)
+		g, _, err := core.Build(ctx, core.ListSource{Edges: tc.edges}, pt)
+		if err != nil {
+			return err
+		}
+		return body(ctx, g)
+	})
+}
+
+func TestPropertyPageRankMassConservation(t *testing.T) {
+	f := func(nRaw uint8, words []uint32) bool {
+		tc := makeCase(nRaw, words)
+		err := runCase(tc, func(ctx *core.Ctx, g *core.Graph) error {
+			res, err := PageRank(ctx, g, PageRankOptions{Iterations: 7, Damping: 0.85})
+			if err != nil {
+				return err
+			}
+			local := 0.0
+			for _, s := range res.Scores {
+				local += s
+				if s < 0 {
+					return fmt.Errorf("negative score %v", s)
+				}
+			}
+			total, err := comm.Allreduce(ctx.Comm, local, comm.OpSum)
+			if err != nil {
+				return err
+			}
+			if math.Abs(total-1) > 1e-9 {
+				return fmt.Errorf("mass %v", total)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Logf("n=%d m=%d: %v", tc.n, tc.edges.Len(), err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBFSLevelsConsistent(t *testing.T) {
+	// For undirected BFS: levels of adjacent vertices differ by at most 1,
+	// and reachable vertices have non-negative levels with a unique root
+	// at level 0.
+	f := func(nRaw uint8, words []uint32) bool {
+		tc := makeCase(nRaw, words)
+		err := runCase(tc, func(ctx *core.Ctx, g *core.Graph) error {
+			res, err := BFS(ctx, g, 0, Und)
+			if err != nil {
+				return err
+			}
+			global, err := core.Gather(ctx, g, res.Levels)
+			if err != nil {
+				return err
+			}
+			if global[0] != 0 {
+				return fmt.Errorf("root level %d", global[0])
+			}
+			zero := 0
+			for _, l := range global {
+				if l == 0 {
+					zero++
+				}
+			}
+			if zero != 1 {
+				return fmt.Errorf("%d vertices at level 0", zero)
+			}
+			for i := 0; i < tc.edges.Len(); i++ {
+				u, v := tc.edges.Src(i), tc.edges.Dst(i)
+				lu, lv := global[u], global[v]
+				if (lu < 0) != (lv < 0) {
+					return fmt.Errorf("edge (%d,%d) spans reachability boundary", u, v)
+				}
+				if lu >= 0 && abs32(lu-lv) > 1 {
+					return fmt.Errorf("edge (%d,%d) levels %d,%d", u, v, lu, lv)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Logf("n=%d m=%d: %v", tc.n, tc.edges.Len(), err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs32(x int32) int32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestPropertyWCCLabelsAreValidPartition(t *testing.T) {
+	// Every undirected edge joins same-labeled vertices, and the number of
+	// distinct labels equals NumComponents.
+	f := func(nRaw uint8, words []uint32) bool {
+		tc := makeCase(nRaw, words)
+		err := runCase(tc, func(ctx *core.Ctx, g *core.Graph) error {
+			res, err := WCC(ctx, g)
+			if err != nil {
+				return err
+			}
+			global, err := core.Gather(ctx, g, res.Labels)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < tc.edges.Len(); i++ {
+				u, v := tc.edges.Src(i), tc.edges.Dst(i)
+				if global[u] != global[v] {
+					return fmt.Errorf("edge (%d,%d) crosses components %d/%d", u, v, global[u], global[v])
+				}
+			}
+			distinct := map[uint32]bool{}
+			for _, l := range global {
+				distinct[l] = true
+			}
+			if uint64(len(distinct)) != res.NumComponents {
+				return fmt.Errorf("%d labels vs NumComponents %d", len(distinct), res.NumComponents)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Logf("n=%d m=%d: %v", tc.n, tc.edges.Len(), err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySCCLabelsMutuallyConsistent(t *testing.T) {
+	// SCC labels refine WCC labels: same SCC implies same WCC; every SCC
+	// label is one of its members (label vertex belongs to the class).
+	f := func(nRaw uint8, words []uint32) bool {
+		tc := makeCase(nRaw, words)
+		err := runCase(tc, func(ctx *core.Ctx, g *core.Graph) error {
+			scc, err := SCC(ctx, g)
+			if err != nil {
+				return err
+			}
+			sccG, err := core.Gather(ctx, g, scc.Labels)
+			if err != nil {
+				return err
+			}
+			wcc, err := WCC(ctx, g)
+			if err != nil {
+				return err
+			}
+			wccG, err := core.Gather(ctx, g, wcc.Labels)
+			if err != nil {
+				return err
+			}
+			classWCC := map[uint32]uint32{}
+			for v, l := range sccG {
+				if w, ok := classWCC[l]; ok {
+					if w != wccG[v] {
+						return fmt.Errorf("SCC %d spans WCC %d and %d", l, w, wccG[v])
+					}
+				} else {
+					classWCC[l] = wccG[v]
+				}
+			}
+			for v, l := range sccG {
+				if sccG[l] != l {
+					return fmt.Errorf("label %d of vertex %d is not its class representative", l, v)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Logf("n=%d m=%d: %v", tc.n, tc.edges.Len(), err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyKCoreBoundsAreMonotone(t *testing.T) {
+	// Coreness bounds are powers of two within range, and raising the
+	// level count never lowers a vertex's bound.
+	f := func(nRaw uint8, words []uint32) bool {
+		tc := makeCase(nRaw, words)
+		var ub3, ub5 []uint32
+		err := runCase(tc, func(ctx *core.Ctx, g *core.Graph) error {
+			r3, err := KCoreApprox(ctx, g, 3)
+			if err != nil {
+				return err
+			}
+			r5, err := KCoreApprox(ctx, g, 5)
+			if err != nil {
+				return err
+			}
+			g3, err := core.Gather(ctx, g, r3.CorenessUB)
+			if err != nil {
+				return err
+			}
+			g5, err := core.Gather(ctx, g, r5.CorenessUB)
+			if err != nil {
+				return err
+			}
+			if ctx.Rank() == 0 {
+				ub3, ub5 = g3, g5
+			}
+			return nil
+		})
+		if err != nil {
+			t.Logf("n=%d m=%d: %v", tc.n, tc.edges.Len(), err)
+			return false
+		}
+		for v := range ub3 {
+			if ub3[v] < 2 || ub3[v] > 8 || ub3[v]&(ub3[v]-1) != 0 {
+				t.Logf("ub3[%d] = %d not a power of two in range", v, ub3[v])
+				return false
+			}
+			// A vertex that died before the last level at 3 levels dies at
+			// the same threshold with 5 levels; survivors' bound can only
+			// grow.
+			if ub3[v] < 8 && ub5[v] != ub3[v] {
+				t.Logf("vertex %d bound changed %d -> %d", v, ub3[v], ub5[v])
+				return false
+			}
+			if ub3[v] == 8 && ub5[v] < 8 {
+				t.Logf("vertex %d bound shrank %d -> %d", v, ub3[v], ub5[v])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyHaloIdempotent(t *testing.T) {
+	// Exchanging twice without changing owned values leaves ghost state
+	// fixed.
+	f := func(nRaw uint8, words []uint32) bool {
+		tc := makeCase(nRaw, words)
+		err := runCase(tc, func(ctx *core.Ctx, g *core.Graph) error {
+			halo, err := BuildHalo(ctx, g, DirsBoth)
+			if err != nil {
+				return err
+			}
+			state := make([]uint32, g.NTotal())
+			for v := uint32(0); v < g.NLoc; v++ {
+				state[v] = g.GlobalID(v) * 13
+			}
+			if err := Exchange(ctx, halo, state); err != nil {
+				return err
+			}
+			snapshot := append([]uint32(nil), state...)
+			if err := Exchange(ctx, halo, state); err != nil {
+				return err
+			}
+			for i := range state {
+				if state[i] != snapshot[i] {
+					return fmt.Errorf("state moved at %d", i)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Logf("n=%d m=%d: %v", tc.n, tc.edges.Len(), err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+package analytics
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// Single-source shortest paths: the second Graph500 kernel the paper's
+// introduction frames its work against (BFS being the first). The
+// implementation is a queue-driven Bellman-Ford in the paper's BFS-like
+// class: rounds relax the out-edges of vertices whose distance improved,
+// ship cross-rank improvements as (vertex, distance) pairs with one
+// Alltoallv per round, and stop when no distance improves anywhere.
+//
+// The on-disk format carries no weights, so weights are synthesized
+// deterministically per (src, dst) pair (HashWeights) — every rank computes
+// the same weight for an edge without storing or exchanging it, the same
+// trick the generators use for edges themselves.
+
+// InfDistance marks unreachable vertices.
+const InfDistance = ^uint64(0)
+
+// WeightFunc returns the weight of directed edge (srcGid, dstGid); it must
+// be positive and identical on every rank. Parallel edges share a weight.
+type WeightFunc func(srcGid, dstGid uint32) uint64
+
+// UnitWeights makes SSSP equivalent to BFS depth counting.
+func UnitWeights(srcGid, dstGid uint32) uint64 { return 1 }
+
+// HashWeights returns deterministic pseudo-random integer weights in
+// [1, maxW].
+func HashWeights(seed uint64, maxW uint64) WeightFunc {
+	if maxW == 0 {
+		maxW = 1
+	}
+	return func(srcGid, dstGid uint32) uint64 {
+		h := rng.Mix64(seed ^ uint64(srcGid)<<32 ^ uint64(dstGid))
+		return 1 + h%maxW
+	}
+}
+
+// SSSPResult carries per-owned-vertex distances and run metadata.
+type SSSPResult struct {
+	// Dist[v] is the shortest-path distance from the root to owned local
+	// vertex v, or InfDistance if unreachable.
+	Dist []uint64
+	// Rounds is the number of relaxation rounds executed.
+	Rounds int
+	// Reached is the global number of reachable vertices (root included).
+	Reached uint64
+}
+
+// SSSP computes shortest paths from the global vertex root along directed
+// edges under w.
+func SSSP(ctx *core.Ctx, g *core.Graph, root uint32, w WeightFunc) (*SSSPResult, error) {
+	if root >= g.NGlobal {
+		return nil, fmt.Errorf("analytics: SSSP root %d outside %d vertices", root, g.NGlobal)
+	}
+	dist := make([]uint64, g.NLoc)
+	for v := range dist {
+		dist[v] = InfDistance
+	}
+	inQueue := make([]int32, g.NLoc) // CAS flag: already queued this round
+	var queue []uint32
+	if lid := g.LocalID(root); lid != core.InvalidLocal && lid < g.NLoc {
+		dist[lid] = 0
+		queue = append(queue, lid)
+	}
+
+	rounds := 0
+	for {
+		globalActive, err := comm.Allreduce(ctx.Comm, uint64(len(queue)), comm.OpSum)
+		if err != nil {
+			return nil, err
+		}
+		if globalActive == 0 {
+			break
+		}
+		rounds++
+		for i := range inQueue {
+			inQueue[i] = 0
+		}
+
+		// Relax the queue's out-edges; local improvements claim a slot in
+		// the next queue, remote improvements stage (gid, dist) messages.
+		nt := ctx.Pool.Threads()
+		nextPer := make([][]uint32, nt)
+		msgGidPer := make([][]uint32, nt)
+		msgDistPer := make([][]uint64, nt)
+		ctx.Pool.For(len(queue), func(lo, hi, tid int) {
+			var next []uint32
+			var gids []uint32
+			var dists []uint64
+			for i := lo; i < hi; i++ {
+				v := queue[i]
+				dv := atomic.LoadUint64(&dist[v])
+				vGid := g.GlobalID(v)
+				for _, u := range g.OutNeighbors(v) {
+					uGid := g.GlobalID(u)
+					nd := dv + w(vGid, uGid)
+					if nd < dv {
+						// Overflow: weights are positive, so this only
+						// happens beyond any real path length.
+						continue
+					}
+					if u < g.NLoc {
+						if atomicMinU64(&dist[u], nd) &&
+							atomic.CompareAndSwapInt32(&inQueue[u], 0, 1) {
+							next = append(next, u)
+						}
+					} else {
+						gids = append(gids, uGid)
+						dists = append(dists, nd)
+					}
+				}
+			}
+			nextPer[tid] = next
+			msgGidPer[tid] = gids
+			msgDistPer[tid] = dists
+		})
+		var next []uint32
+		var msgGids []uint32
+		var msgDists []uint64
+		for t := 0; t < nt; t++ {
+			next = append(next, nextPer[t]...)
+			msgGids = append(msgGids, msgGidPer[t]...)
+			msgDists = append(msgDists, msgDistPer[t]...)
+		}
+
+		// Route improvements to owners as two aligned streams.
+		p := ctx.Size()
+		counts := make([]uint64, p)
+		for _, gid := range msgGids {
+			counts[ownerOfGid(g, gid)]++
+		}
+		offsets, total := par.ExclusivePrefixSum(counts)
+		sendGid := make([]uint32, total)
+		sendDist := make([]uint64, total)
+		cur := append([]uint64(nil), offsets[:p]...)
+		for i, gid := range msgGids {
+			d := ownerOfGid(g, gid)
+			sendGid[cur[d]] = gid
+			sendDist[cur[d]] = msgDists[i]
+			cur[d]++
+		}
+		intCounts := make([]int, p)
+		for d, c := range counts {
+			intCounts[d] = int(c)
+		}
+		recvGid, _, err := comm.Alltoallv(ctx.Comm, sendGid, intCounts)
+		if err != nil {
+			return nil, err
+		}
+		recvDist, _, err := comm.Alltoallv(ctx.Comm, sendDist, intCounts)
+		if err != nil {
+			return nil, err
+		}
+		if len(recvGid) != len(recvDist) {
+			return nil, fmt.Errorf("analytics: SSSP message streams misaligned")
+		}
+		for i, gid := range recvGid {
+			lid := g.MustLocalID(gid)
+			if lid >= g.NLoc {
+				return nil, fmt.Errorf("analytics: SSSP update for unowned vertex %d", gid)
+			}
+			if recvDist[i] < dist[lid] {
+				dist[lid] = recvDist[i]
+				if inQueue[lid] == 0 {
+					inQueue[lid] = 1
+					next = append(next, lid)
+				}
+			}
+		}
+		queue = next
+	}
+
+	localReached := ctx.Pool.SumRangeU64(int(g.NLoc), func(i int) uint64 {
+		if dist[i] != InfDistance {
+			return 1
+		}
+		return 0
+	})
+	reached, err := comm.Allreduce(ctx.Comm, localReached, comm.OpSum)
+	if err != nil {
+		return nil, err
+	}
+	return &SSSPResult{Dist: dist, Rounds: rounds, Reached: reached}, nil
+}
+
+// ownerOfGid resolves a ghost's owner through the graph's local id (all
+// staged targets are registered ghosts).
+func ownerOfGid(g *core.Graph, gid uint32) int {
+	return g.OwnerOf(g.MustLocalID(gid))
+}
+
+// atomicMinU64 lowers *addr to v if v is smaller; reports whether it did.
+func atomicMinU64(addr *uint64, v uint64) bool {
+	for {
+		old := atomic.LoadUint64(addr)
+		if v >= old {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(addr, old, v) {
+			return true
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package analytics
+
+import (
+	"sync/atomic"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+)
+
+// WCCResult describes the weakly connected components of the graph.
+type WCCResult struct {
+	// Labels[v] identifies owned local vertex v's component. Each label is
+	// the global id of one member (the BFS root for the giant component,
+	// the minimum member id for the rest), so equal label == same
+	// component.
+	Labels []uint32
+	// NumComponents is the global number of weakly connected components.
+	NumComponents uint64
+	// LargestLabel and LargestSize identify the largest component.
+	LargestLabel uint32
+	LargestSize  uint64
+	// BFSReached is the number of vertices claimed by the Multistep BFS
+	// phase (diagnostic: how much work the cheap phase saved the coloring
+	// phase).
+	BFSReached uint64
+}
+
+// WCC computes weakly connected components with the distributed Multistep
+// scheme the paper adopts: a BFS-like phase claims the (expected) giant
+// component from the highest-degree vertex, then a PageRank-like coloring
+// phase resolves everything else by propagating minimum labels to a fixed
+// point. Edge direction is ignored throughout.
+func WCC(ctx *core.Ctx, g *core.Graph) (*WCCResult, error) {
+	return wcc(ctx, g, true)
+}
+
+// WCCSingleStage computes weakly connected components with the traditional
+// single-stage approach (min-label coloring over the whole graph, no BFS
+// phase) — the configuration the paper's Multistep choice outperforms;
+// kept for the ablation benchmark.
+func WCCSingleStage(ctx *core.Ctx, g *core.Graph) (*WCCResult, error) {
+	return wcc(ctx, g, false)
+}
+
+func wcc(ctx *core.Ctx, g *core.Graph, multistep bool) (*WCCResult, error) {
+	// Phase 1: undirected BFS from the globally highest-degree vertex.
+	var bfs *BFSResult
+	var root uint32
+	if multistep {
+		var err error
+		root, err = maxDegreeVertex(ctx, g)
+		if err != nil {
+			return nil, err
+		}
+		bfs, err = BFS(ctx, g, root, Und)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		bfs = &BFSResult{Levels: make([]int32, g.NLoc)}
+		for v := range bfs.Levels {
+			bfs.Levels[v] = -1 // nothing claimed; coloring does all work
+		}
+	}
+
+	// Phase 2: minimum-label coloring over the unclaimed remainder.
+	// Claimed vertices hold the sentinel; a vertex claimed by BFS never
+	// neighbors an unclaimed one (BFS exhausted its component), so
+	// sentinels never propagate.
+	const claimed = ^uint32(0)
+	colors := make([]uint32, g.NTotal())
+	ctx.Pool.For(int(g.NTotal()), func(lo, hi, tid int) {
+		for v := lo; v < hi; v++ {
+			colors[v] = g.GlobalID(uint32(v))
+		}
+	})
+	for v := uint32(0); v < g.NLoc; v++ {
+		if bfs.Levels[v] >= 0 {
+			colors[v] = claimed
+		}
+	}
+	halo, err := BuildHalo(ctx, g, DirsBoth)
+	if err != nil {
+		return nil, err
+	}
+	if err := Exchange(ctx, halo, colors); err != nil {
+		return nil, err
+	}
+	for {
+		// In-place (Gauss-Seidel) min propagation: threads may read a
+		// neighbor's color while its owner thread lowers it. The relaxed
+		// atomics make the race well-defined; monotonicity makes any
+		// interleaving converge to the same fixed point.
+		changed := ctx.Pool.SumRangeU64(int(g.NLoc), func(i int) uint64 {
+			v := uint32(i)
+			c := atomic.LoadUint32(&colors[v])
+			if c == claimed {
+				return 0
+			}
+			old := c
+			for _, u := range g.OutNeighbors(v) {
+				if uc := atomic.LoadUint32(&colors[u]); uc < c {
+					c = uc
+				}
+			}
+			for _, u := range g.InNeighbors(v) {
+				if uc := atomic.LoadUint32(&colors[u]); uc < c {
+					c = uc
+				}
+			}
+			if c < old {
+				atomic.StoreUint32(&colors[v], c)
+				return 1
+			}
+			return 0
+		})
+		globalChanged, err := comm.Allreduce(ctx.Comm, changed, comm.OpSum)
+		if err != nil {
+			return nil, err
+		}
+		if globalChanged == 0 {
+			break
+		}
+		if err := Exchange(ctx, halo, colors); err != nil {
+			return nil, err
+		}
+	}
+
+	labels := make([]uint32, g.NLoc)
+	for v := uint32(0); v < g.NLoc; v++ {
+		if bfs.Levels[v] >= 0 {
+			labels[v] = root
+		} else {
+			labels[v] = colors[v]
+		}
+	}
+
+	// Component census. Labels are member ids, but the BFS component's
+	// label is the root, which may not be its minimum member — normalize
+	// the representative count by treating the root as its component's
+	// representative.
+	numComponents, err := countRepresentatives(ctx, g, labels)
+	if err != nil {
+		return nil, err
+	}
+	owned, err := aggregateLabelCounts(ctx, g, labels, nil)
+	if err != nil {
+		return nil, err
+	}
+	largestLbl, largestSize, _, err := largestLabel(ctx, owned)
+	if err != nil {
+		return nil, err
+	}
+	return &WCCResult{
+		Labels:        labels,
+		NumComponents: numComponents,
+		LargestLabel:  largestLbl,
+		LargestSize:   largestSize,
+		BFSReached:    bfs.Reached,
+	}, nil
+}
+
+// maxDegreeVertex returns the global id of the vertex with the highest
+// undirected degree (ties toward the lowest rank's candidate, then the
+// candidate that rank chose first).
+func maxDegreeVertex(ctx *core.Ctx, g *core.Graph) (uint32, error) {
+	var bestDeg uint64
+	bestGid := uint32(0)
+	found := false
+	for v := uint32(0); v < g.NLoc; v++ {
+		d := g.OutDegree(v) + g.InDegree(v)
+		if !found || d > bestDeg {
+			bestDeg, bestGid, found = d, g.GlobalID(v), true
+		}
+	}
+	_, payload, _, err := comm.MaxLoc(ctx.Comm, bestDeg, uint64(bestGid))
+	if err != nil {
+		return 0, err
+	}
+	return uint32(payload), nil
+}

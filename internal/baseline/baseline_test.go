@@ -1,0 +1,162 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/gio"
+	"repro/internal/seq"
+)
+
+func testSpec() gen.Spec {
+	return gen.Spec{Kind: gen.RMAT, NumVertices: 120, NumEdges: 900, Seed: 44}
+}
+
+func TestEnginePageRankMatchesSequential(t *testing.T) {
+	spec := testSpec()
+	edges, err := spec.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := seq.FromEdges(spec.NumVertices, edges)
+	want := seq.PageRank(ref, 8, 0.85)
+	for _, p := range []int{1, 2, 4} {
+		p := p
+		t.Run(fmt.Sprintf("ranks=%d", p), func(t *testing.T) {
+			err := comm.RunLocal(p, func(c *comm.Comm) error {
+				ctx := core.NewCtx(c, 1)
+				got, err := PageRank(ctx, core.ListSource{Edges: edges}, spec.NumVertices, 8, 0.85)
+				if err != nil {
+					return err
+				}
+				for v := range want {
+					if math.Abs(got[v]-want[v]) > 1e-9 {
+						return fmt.Errorf("PR[%d] = %v, want %v", v, got[v], want[v])
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestEngineWCCMatchesSequential(t *testing.T) {
+	spec := testSpec()
+	edges, err := spec.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := seq.FromEdges(spec.NumVertices, edges)
+	want := seq.WCC(ref)
+	for _, p := range []int{1, 3} {
+		p := p
+		t.Run(fmt.Sprintf("ranks=%d", p), func(t *testing.T) {
+			err := comm.RunLocal(p, func(c *comm.Comm) error {
+				ctx := core.NewCtx(c, 1)
+				got, err := WCCHashMin(ctx, core.ListSource{Edges: edges}, spec.NumVertices)
+				if err != nil {
+					return err
+				}
+				for v := range want {
+					if got[v] != want[v] {
+						return fmt.Errorf("WCC[%d] = %d, want %d", v, got[v], want[v])
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestExternalEngineBothModes(t *testing.T) {
+	spec := testSpec()
+	edges, err := spec.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := seq.FromEdges(spec.NumVertices, edges)
+	wantPR := seq.PageRank(ref, 6, 0.85)
+	wantWCC := seq.WCC(ref)
+
+	path := filepath.Join(t.TempDir(), "g.bin")
+	if err := gio.WriteFile(path, edges); err != nil {
+		t.Fatal(err)
+	}
+	for _, inMemory := range []bool{true, false} {
+		name := "external"
+		if inMemory {
+			name = "standalone"
+		}
+		t.Run(name, func(t *testing.T) {
+			e, err := NewExternalEngine(path, spec.NumVertices, inMemory)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.NumEdges() != spec.NumEdges {
+				t.Fatalf("NumEdges = %d", e.NumEdges())
+			}
+			pr, err := e.PageRank(6, 0.85)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range wantPR {
+				if math.Abs(pr[v]-wantPR[v]) > 1e-9 {
+					t.Fatalf("PR[%d] = %v, want %v", v, pr[v], wantPR[v])
+				}
+			}
+			wcc, err := e.WCC()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range wantWCC {
+				if wcc[v] != wantWCC[v] {
+					t.Fatalf("WCC[%d] = %d, want %d", v, wcc[v], wantWCC[v])
+				}
+			}
+		})
+	}
+}
+
+func TestExternalEngineMissingFile(t *testing.T) {
+	if _, err := NewExternalEngine(filepath.Join(t.TempDir(), "absent"), 4, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestEngineIsolatedVertices(t *testing.T) {
+	// n larger than any endpoint: isolated vertices must still exist and
+	// receive PageRank mass.
+	edges := core.ListSource{Edges: []uint32{0, 1}}
+	err := comm.RunLocal(2, func(c *comm.Comm) error {
+		ctx := core.NewCtx(c, 1)
+		pr, err := PageRank(ctx, edges, 5, 3, 0.85)
+		if err != nil {
+			return err
+		}
+		sum := 0.0
+		for _, x := range pr {
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("PR sums to %v", sum)
+		}
+		if pr[4] == 0 {
+			return fmt.Errorf("isolated vertex has zero rank")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,242 @@
+// Package baseline implements deliberately framework-style comparators for
+// the paper's Section V evaluation:
+//
+//   - Engine: a distributed Pregel-like vertex-centric engine (the
+//     GraphX / PowerGraph / PowerLyra / Giraph stand-in). It embodies
+//     exactly the overheads the paper attributes to general frameworks:
+//     per-vertex state and adjacency in hash maps keyed by global ids (no
+//     relabeling, no CSR locality), messages boxed as interface values with
+//     one allocation each, hash partitioning with no locality, and a
+//     superstep barrier with full message materialization.
+//   - ExternalEngine: a single-machine semi-external-memory engine (the
+//     FlashGraph stand-in) that streams its edge list from disk every
+//     superstep in external mode, or from memory in standalone (-SA) mode.
+//
+// The point of this package is honest slowness of the *structural* kind:
+// nothing is gratuitously de-optimized; the costs all follow from the
+// generic vertex-centric abstraction, which is the paper's comparison.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// Message is one boxed vertex-to-vertex message.
+type Message struct {
+	To    uint32
+	Value any
+}
+
+// Program is a Pregel-style vertex program. Values crossing rank
+// boundaries must box float64 (labels are carried as float64s — exact for
+// ids below 2^53).
+type Program interface {
+	// Init returns vertex v's initial state.
+	Init(v uint32, outDeg int, n uint64) any
+	// Aggregate contributes to the superstep's global float64 aggregator
+	// (summed over all vertices before Compute runs).
+	Aggregate(v uint32, state any) float64
+	// Compute consumes v's inbox and returns the new state plus outgoing
+	// messages. superstep counts from 0.
+	Compute(v uint32, state any, inbox []any, agg float64, n uint64, superstep int) (any, []Message)
+}
+
+// Config controls an Engine run.
+type Config struct {
+	// MaxSupersteps bounds the run.
+	MaxSupersteps int
+	// ConvergeOnNoChange stops when no vertex state changed in a
+	// superstep.
+	ConvergeOnNoChange bool
+	// Undirected mirrors every edge, for label-propagation-style programs.
+	Undirected bool
+}
+
+// Engine is one rank's shard of the vertex-centric runtime.
+type Engine struct {
+	ctx *core.Ctx
+	n   uint64
+	// adjacency and state are hash maps keyed by raw global ids — the
+	// framework-typical representation the paper's relabeled flat arrays
+	// beat.
+	adj   map[uint32][]uint32
+	state map[uint32]any
+	inbox map[uint32][]any
+}
+
+// owner hashes a vertex to its home rank (framework-style hash
+// partitioning).
+func (e *Engine) owner(v uint32) int {
+	return int(v) % e.ctx.Size()
+}
+
+// NewEngine loads the graph from src into a vertex-centric engine,
+// collectively across ranks.
+func NewEngine(ctx *core.Ctx, src core.EdgeSource, n uint32, undirected bool) (*Engine, error) {
+	e := &Engine{
+		ctx:   ctx,
+		n:     uint64(n),
+		adj:   make(map[uint32][]uint32),
+		state: make(map[uint32]any),
+		inbox: make(map[uint32][]any),
+	}
+	lo, hi := gen.ChunkRange(src.NumEdges(), ctx.Rank(), ctx.Size())
+	chunk, err := src.ReadChunk(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	// Route each (possibly mirrored) edge to its source's owner.
+	p := ctx.Size()
+	perDest := make([][]uint32, p)
+	push := func(u, v uint32) {
+		d := int(u) % p
+		perDest[d] = append(perDest[d], u, v)
+	}
+	for i := 0; i < chunk.Len(); i++ {
+		push(chunk.Src(i), chunk.Dst(i))
+		if undirected {
+			push(chunk.Dst(i), chunk.Src(i))
+		}
+	}
+	var send []uint32
+	counts := make([]int, p)
+	for d := 0; d < p; d++ {
+		counts[d] = len(perDest[d])
+		send = append(send, perDest[d]...)
+	}
+	recv, _, err := comm.Alltoallv(ctx.Comm, send, counts)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i+1 < len(recv); i += 2 {
+		e.adj[recv[i]] = append(e.adj[recv[i]], recv[i+1])
+	}
+	// Every vertex exists even if isolated.
+	for v := uint32(ctx.Rank()); uint64(v) < e.n; v += uint32(p) {
+		if _, ok := e.adj[v]; !ok {
+			e.adj[v] = nil
+		}
+	}
+	return e, nil
+}
+
+// Run executes the program to completion and returns the final state map
+// of this rank's vertices.
+func (e *Engine) Run(prog Program, cfg Config) (map[uint32]any, error) {
+	for v := range e.adj {
+		e.state[v] = prog.Init(v, len(e.adj[v]), e.n)
+	}
+	for step := 0; step < cfg.MaxSupersteps; step++ {
+		// Global aggregator.
+		local := 0.0
+		for v, s := range e.state {
+			local += prog.Aggregate(v, s)
+		}
+		agg, err := comm.Allreduce(e.ctx.Comm, local, comm.OpSum)
+		if err != nil {
+			return nil, err
+		}
+
+		// Compute phase: every vertex, every superstep (framework-style
+		// dense scheduling), consuming the boxed inboxes.
+		nextInbox := make(map[uint32][]any)
+		p := e.ctx.Size()
+		wireTo := make([][]uint32, p)
+		wireVal := make([][]float64, p)
+		changed := uint64(0)
+		for v, s := range e.state {
+			newState, outgoing := prog.Compute(v, s, e.inbox[v], agg, e.n, step)
+			if newState != s {
+				changed++
+			}
+			e.state[v] = newState
+			for _, m := range outgoing {
+				if d := e.owner(m.To); d == e.ctx.Rank() {
+					nextInbox[m.To] = append(nextInbox[m.To], m.Value)
+				} else {
+					f, ok := m.Value.(float64)
+					if !ok {
+						return nil, fmt.Errorf("baseline: non-float64 message %T crossing ranks", m.Value)
+					}
+					wireTo[d] = append(wireTo[d], m.To)
+					wireVal[d] = append(wireVal[d], f)
+				}
+			}
+		}
+
+		// Message exchange: targets and boxed payloads travel as two
+		// collectives.
+		var sendTo []uint32
+		var sendVal []float64
+		countsTo := make([]int, p)
+		for d := 0; d < p; d++ {
+			countsTo[d] = len(wireTo[d])
+			sendTo = append(sendTo, wireTo[d]...)
+			sendVal = append(sendVal, wireVal[d]...)
+		}
+		recvTo, _, err := comm.Alltoallv(e.ctx.Comm, sendTo, countsTo)
+		if err != nil {
+			return nil, err
+		}
+		recvVal, _, err := comm.Alltoallv(e.ctx.Comm, sendVal, countsTo)
+		if err != nil {
+			return nil, err
+		}
+		if len(recvTo) != len(recvVal) {
+			return nil, fmt.Errorf("baseline: message streams misaligned (%d vs %d)", len(recvTo), len(recvVal))
+		}
+		for i, to := range recvTo {
+			nextInbox[to] = append(nextInbox[to], any(recvVal[i])) // boxes
+		}
+		var inFlight uint64
+		for _, msgs := range nextInbox {
+			inFlight += uint64(len(msgs))
+		}
+		e.inbox = nextInbox
+
+		if cfg.ConvergeOnNoChange {
+			// Quiescence requires both stable states and an empty global
+			// message queue — messages already sent must still be consumed.
+			globalActivity, err := comm.Allreduce(e.ctx.Comm, changed+inFlight, comm.OpSum)
+			if err != nil {
+				return nil, err
+			}
+			if globalActivity == 0 {
+				break
+			}
+		}
+	}
+	return e.state, nil
+}
+
+// GatherFloat64 assembles a global result array from per-rank state maps
+// holding float64s.
+func (e *Engine) GatherFloat64(states map[uint32]any) ([]float64, error) {
+	gids := make([]uint32, 0, len(states))
+	vals := make([]float64, 0, len(states))
+	for v, s := range states {
+		f, ok := s.(float64)
+		if !ok {
+			return nil, fmt.Errorf("baseline: state of %d is %T, want float64", v, s)
+		}
+		gids = append(gids, v)
+		vals = append(vals, f)
+	}
+	allG, _, err := comm.Allgatherv(e.ctx.Comm, gids)
+	if err != nil {
+		return nil, err
+	}
+	allV, _, err := comm.Allgatherv(e.ctx.Comm, vals)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, e.n)
+	for i, gid := range allG {
+		out[gid] = allV[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package baseline
+
+import (
+	"repro/internal/core"
+)
+
+// PageRank runs framework-style PageRank for iters iterations on a
+// directed engine and returns the global score vector on every rank.
+func PageRank(ctx *core.Ctx, src core.EdgeSource, n uint32, iters int, damping float64) ([]float64, error) {
+	e, err := NewEngine(ctx, src, n, false)
+	if err != nil {
+		return nil, err
+	}
+	prog := &pageRankFull{damping: damping, adj: e.adj}
+	states, err := e.Run(prog, Config{MaxSupersteps: iters + 1})
+	if err != nil {
+		return nil, err
+	}
+	return e.GatherFloat64(states)
+}
+
+// pageRankFull is the complete vertex program with adjacency access for
+// message fan-out (Pregel programs iterate their out-edges in Compute).
+type pageRankFull struct {
+	damping float64
+	adj     map[uint32][]uint32
+}
+
+// Init implements Program.
+func (p *pageRankFull) Init(v uint32, outDeg int, n uint64) any { return 1 / float64(n) }
+
+// Aggregate implements Program.
+func (p *pageRankFull) Aggregate(v uint32, state any) float64 {
+	if len(p.adj[v]) == 0 {
+		return state.(float64)
+	}
+	return 0
+}
+
+// Compute implements Program.
+func (p *pageRankFull) Compute(v uint32, state any, inbox []any, agg float64, n uint64, superstep int) (any, []Message) {
+	score := state.(float64)
+	if superstep > 0 {
+		sum := 0.0
+		for _, m := range inbox {
+			sum += m.(float64)
+		}
+		base := (1-p.damping)/float64(n) + p.damping*agg/float64(n)
+		score = base + p.damping*sum
+	}
+	nbrs := p.adj[v]
+	if len(nbrs) == 0 {
+		return score, nil
+	}
+	share := score / float64(len(nbrs))
+	msgs := make([]Message, len(nbrs))
+	for i, u := range nbrs {
+		msgs[i] = Message{To: u, Value: share} // one boxing per message
+	}
+	return score, msgs
+}
+
+// WCCHashMin runs the traditional single-stage connected-components
+// algorithm (HashMin label propagation to convergence) that the paper's
+// Multistep WCC outperforms, and returns global component labels (minimum
+// member id per component) on every rank.
+func WCCHashMin(ctx *core.Ctx, src core.EdgeSource, n uint32) ([]uint32, error) {
+	e, err := NewEngine(ctx, src, n, true)
+	if err != nil {
+		return nil, err
+	}
+	prog := &hashMin{adj: e.adj}
+	states, err := e.Run(prog, Config{MaxSupersteps: int(n) + 2, ConvergeOnNoChange: true})
+	if err != nil {
+		return nil, err
+	}
+	floats, err := e.GatherFloat64(states)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]uint32, len(floats))
+	for i, f := range floats {
+		labels[i] = uint32(f)
+	}
+	return labels, nil
+}
+
+// hashMin is the single-stage WCC vertex program.
+type hashMin struct {
+	adj map[uint32][]uint32
+}
+
+// Init implements Program.
+func (p *hashMin) Init(v uint32, outDeg int, n uint64) any { return float64(v) }
+
+// Aggregate implements Program.
+func (p *hashMin) Aggregate(v uint32, state any) float64 { return 0 }
+
+// Compute implements Program.
+func (p *hashMin) Compute(v uint32, state any, inbox []any, agg float64, n uint64, superstep int) (any, []Message) {
+	label := state.(float64)
+	min := label
+	for _, m := range inbox {
+		if f := m.(float64); f < min {
+			min = f
+		}
+	}
+	changed := min < label || superstep == 0
+	if !changed {
+		return label, nil
+	}
+	nbrs := p.adj[v]
+	msgs := make([]Message, len(nbrs))
+	for i, u := range nbrs {
+		msgs[i] = Message{To: u, Value: min}
+	}
+	return min, msgs
+}

@@ -1,0 +1,110 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Scalar enumerates the element types the collectives can move. The set is
+// deliberately exact (no ~approximation) so the codec can dispatch with
+// type assertions; every send queue in the analytics uses one of these.
+type Scalar interface {
+	uint8 | uint16 | uint32 | uint64 | int32 | int64 | float32 | float64
+}
+
+// sizeOf returns the encoded size in bytes of one element of type T.
+func sizeOf[T Scalar]() int {
+	var z T
+	switch any(z).(type) {
+	case uint8:
+		return 1
+	case uint16:
+		return 2
+	case uint32, int32, float32:
+		return 4
+	default: // uint64, int64, float64
+		return 8
+	}
+}
+
+// encodeInto appends the little-endian encoding of vals to dst and returns
+// the extended slice.
+func encodeInto[T Scalar](dst []byte, vals []T) []byte {
+	switch vs := any(vals).(type) {
+	case []uint8:
+		return append(dst, vs...)
+	case []uint16:
+		for _, v := range vs {
+			dst = binary.LittleEndian.AppendUint16(dst, v)
+		}
+	case []uint32:
+		for _, v := range vs {
+			dst = binary.LittleEndian.AppendUint32(dst, v)
+		}
+	case []uint64:
+		for _, v := range vs {
+			dst = binary.LittleEndian.AppendUint64(dst, v)
+		}
+	case []int32:
+		for _, v := range vs {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(v))
+		}
+	case []int64:
+		for _, v := range vs {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+		}
+	case []float32:
+		for _, v := range vs {
+			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+		}
+	case []float64:
+		for _, v := range vs {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	}
+	return dst
+}
+
+// decode parses b (a whole number of little-endian elements) into a []T.
+func decode[T Scalar](b []byte) ([]T, error) {
+	es := sizeOf[T]()
+	if len(b)%es != 0 {
+		return nil, fmt.Errorf("comm: message length %d not a multiple of element size %d", len(b), es)
+	}
+	n := len(b) / es
+	out := make([]T, n)
+	switch vs := any(out).(type) {
+	case []uint8:
+		copy(vs, b)
+	case []uint16:
+		for i := range vs {
+			vs[i] = binary.LittleEndian.Uint16(b[2*i:])
+		}
+	case []uint32:
+		for i := range vs {
+			vs[i] = binary.LittleEndian.Uint32(b[4*i:])
+		}
+	case []uint64:
+		for i := range vs {
+			vs[i] = binary.LittleEndian.Uint64(b[8*i:])
+		}
+	case []int32:
+		for i := range vs {
+			vs[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+		}
+	case []int64:
+		for i := range vs {
+			vs[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+		}
+	case []float32:
+		for i := range vs {
+			vs[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+		}
+	case []float64:
+		for i := range vs {
+			vs[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+		}
+	}
+	return out, nil
+}

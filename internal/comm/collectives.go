@@ -1,0 +1,249 @@
+package comm
+
+import "fmt"
+
+// Op identifies a reduction operator for Allreduce and scans.
+type Op int
+
+// Reduction operators. Min and Max follow Go's ordering for the element
+// type; Sum wraps on integer overflow like Go arithmetic.
+const (
+	OpSum Op = iota
+	OpMin
+	OpMax
+)
+
+// apply combines two values with op.
+func apply[T Scalar](op Op, a, b T) T {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	default:
+		panic("comm: unknown reduction op")
+	}
+}
+
+// Alltoallv performs the paper's workhorse collective: send holds the
+// concatenated per-destination segments (destination r's elements occupy
+// send[offset[r] : offset[r]+counts[r]] where offset is the prefix sum of
+// counts), and the call returns the concatenated segments received from
+// every rank along with the per-source counts.
+func Alltoallv[T Scalar](c *Comm, send []T, counts []int) (recv []T, recvCounts []int, err error) {
+	size := c.Size()
+	if len(counts) != size {
+		return nil, nil, fmt.Errorf("comm: Alltoallv counts has %d entries for %d ranks", len(counts), size)
+	}
+	out := make([][]byte, size)
+	pos := 0
+	for r := 0; r < size; r++ {
+		n := counts[r]
+		if n < 0 || pos+n > len(send) {
+			return nil, nil, fmt.Errorf("comm: Alltoallv counts sum beyond len(send)=%d", len(send))
+		}
+		out[r] = encodeInto(nil, send[pos:pos+n])
+		pos += n
+	}
+	if pos != len(send) {
+		return nil, nil, fmt.Errorf("comm: Alltoallv counts sum %d != len(send) %d", pos, len(send))
+	}
+	in, err := c.exchange(out)
+	if err != nil {
+		return nil, nil, err
+	}
+	recvCounts = make([]int, size)
+	total := 0
+	es := sizeOf[T]()
+	for r, m := range in {
+		if len(m)%es != 0 {
+			return nil, nil, fmt.Errorf("comm: Alltoallv message from rank %d has ragged length %d", r, len(m))
+		}
+		recvCounts[r] = len(m) / es
+		total += recvCounts[r]
+	}
+	recv = make([]T, 0, total)
+	for _, m := range in {
+		seg, derr := decode[T](m)
+		if derr != nil {
+			return nil, nil, derr
+		}
+		recv = append(recv, seg...)
+	}
+	return recv, recvCounts, nil
+}
+
+// Alltoall sends send[r] to rank r and returns one element from each rank.
+// len(send) must equal Size().
+func Alltoall[T Scalar](c *Comm, send []T) ([]T, error) {
+	if len(send) != c.Size() {
+		return nil, fmt.Errorf("comm: Alltoall with %d elements for %d ranks", len(send), c.Size())
+	}
+	counts := make([]int, c.Size())
+	for i := range counts {
+		counts[i] = 1
+	}
+	recv, _, err := Alltoallv(c, send, counts)
+	return recv, err
+}
+
+// Allgather distributes each rank's value to every rank; the result is
+// indexed by rank.
+func Allgather[T Scalar](c *Comm, v T) ([]T, error) {
+	size := c.Size()
+	msg := encodeInto(nil, []T{v})
+	out := make([][]byte, size)
+	for r := range out {
+		out[r] = msg
+	}
+	in, err := c.exchange(out)
+	if err != nil {
+		return nil, err
+	}
+	res := make([]T, size)
+	for r, m := range in {
+		vals, derr := decode[T](m)
+		if derr != nil || len(vals) != 1 {
+			return nil, fmt.Errorf("comm: Allgather bad message from rank %d", r)
+		}
+		res[r] = vals[0]
+	}
+	return res, nil
+}
+
+// Allgatherv concatenates every rank's slice in rank order. counts reports
+// how many elements each rank contributed.
+func Allgatherv[T Scalar](c *Comm, vals []T) (all []T, counts []int, err error) {
+	size := c.Size()
+	msg := encodeInto(nil, vals)
+	out := make([][]byte, size)
+	for r := range out {
+		out[r] = msg
+	}
+	in, err := c.exchange(out)
+	if err != nil {
+		return nil, nil, err
+	}
+	counts = make([]int, size)
+	for r, m := range in {
+		seg, derr := decode[T](m)
+		if derr != nil {
+			return nil, nil, derr
+		}
+		counts[r] = len(seg)
+		all = append(all, seg...)
+	}
+	return all, counts, nil
+}
+
+// Bcast distributes root's vals to every rank and returns the received
+// copy; on root it returns vals itself. Non-root callers pass their
+// (ignored) local slice or nil.
+func Bcast[T Scalar](c *Comm, vals []T, root int) ([]T, error) {
+	size := c.Size()
+	if root < 0 || root >= size {
+		return nil, fmt.Errorf("comm: Bcast root %d out of range", root)
+	}
+	out := make([][]byte, size)
+	if c.Rank() == root {
+		msg := encodeInto(nil, vals)
+		for r := range out {
+			out[r] = msg
+		}
+	}
+	in, err := c.exchange(out)
+	if err != nil {
+		return nil, err
+	}
+	if c.Rank() == root {
+		return vals, nil
+	}
+	return decode[T](in[root])
+}
+
+// Allreduce combines one value per rank with op and returns the result on
+// every rank.
+func Allreduce[T Scalar](c *Comm, v T, op Op) (T, error) {
+	all, err := Allgather(c, v)
+	if err != nil {
+		var z T
+		return z, err
+	}
+	acc := all[0]
+	for _, x := range all[1:] {
+		acc = apply(op, acc, x)
+	}
+	return acc, nil
+}
+
+// AllreduceSlice element-wise combines equal-length slices from every rank.
+func AllreduceSlice[T Scalar](c *Comm, vals []T, op Op) ([]T, error) {
+	all, counts, err := Allgatherv(c, vals)
+	if err != nil {
+		return nil, err
+	}
+	n := len(vals)
+	for r, cnt := range counts {
+		if cnt != n {
+			return nil, fmt.Errorf("comm: AllreduceSlice rank %d contributed %d elements, want %d", r, cnt, n)
+		}
+	}
+	res := make([]T, n)
+	copy(res, all[:n])
+	for r := 1; r < len(counts); r++ {
+		seg := all[r*n : (r+1)*n]
+		for i, x := range seg {
+			res[i] = apply(op, res[i], x)
+		}
+	}
+	return res, nil
+}
+
+// ExScan returns the exclusive prefix reduction over ranks: rank r receives
+// op(v_0, ..., v_{r-1}), and rank 0 receives id (the caller's identity
+// element for op).
+func ExScan[T Scalar](c *Comm, v T, op Op, id T) (T, error) {
+	all, err := Allgather(c, v)
+	if err != nil {
+		var z T
+		return z, err
+	}
+	acc := id
+	for r := 0; r < c.Rank(); r++ {
+		acc = apply(op, acc, all[r])
+	}
+	return acc, nil
+}
+
+// MaxLoc returns the globally maximal value together with its attached
+// payload (e.g. a vertex id) and owning rank. Ties break toward the lowest
+// rank, so every rank computes the same winner.
+func MaxLoc[T Scalar](c *Comm, v T, payload uint64) (maxVal T, maxPayload uint64, maxRank int, err error) {
+	vals, err := Allgather(c, v)
+	if err != nil {
+		var z T
+		return z, 0, 0, err
+	}
+	payloads, err := Allgather(c, payload)
+	if err != nil {
+		var z T
+		return z, 0, 0, err
+	}
+	maxRank = 0
+	maxVal = vals[0]
+	for r := 1; r < len(vals); r++ {
+		if vals[r] > maxVal {
+			maxVal = vals[r]
+			maxRank = r
+		}
+	}
+	return maxVal, payloads[maxRank], maxRank, nil
+}

@@ -1,0 +1,108 @@
+package comm
+
+import (
+	"time"
+)
+
+// Comm is one rank's communicator: a transport plus the per-rank timing
+// breakdown the paper reports in Figure 3 (computation / communication /
+// idle). A Comm must be used from a single goroutine.
+type Comm struct {
+	tr    Transport
+	stats Stats
+	mark  time.Time
+}
+
+// Stats is the cumulative time and volume breakdown of a measured region.
+// Comp is the time between collective calls (local computation), Idle is the
+// time spent blocked at synchronization points waiting for slower ranks, and
+// CommT is the remaining in-collective time (serialization and transfer).
+type Stats struct {
+	Comp  time.Duration
+	CommT time.Duration
+	Idle  time.Duration
+	// BytesSent and BytesRecv count off-rank payload bytes only
+	// (self-delivery is excluded, matching how edge-cut traffic is
+	// accounted in the paper).
+	BytesSent uint64
+	BytesRecv uint64
+	// Exchanges counts transport rounds (each collective is one or more).
+	Exchanges uint64
+}
+
+// Total returns the wall time covered by the breakdown.
+func (s Stats) Total() time.Duration { return s.Comp + s.CommT + s.Idle }
+
+// New wraps a transport in a communicator and starts its measurement clock.
+func New(tr Transport) *Comm {
+	return &Comm{tr: tr, mark: time.Now()}
+}
+
+// Rank returns this rank's id.
+func (c *Comm) Rank() int { return c.tr.Rank() }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.tr.Size() }
+
+// Transport exposes the underlying transport (used by tests and by Close).
+func (c *Comm) Transport() Transport { return c.tr }
+
+// Close closes the underlying transport.
+func (c *Comm) Close() error { return c.tr.Close() }
+
+// ResetStats zeroes the breakdown and restarts the computation clock. Call
+// at the start of a measured region (e.g. the first PageRank iteration).
+func (c *Comm) ResetStats() {
+	c.stats = Stats{}
+	c.mark = time.Now()
+}
+
+// TakeStats closes out the current computation interval and returns the
+// accumulated breakdown.
+func (c *Comm) TakeStats() Stats {
+	now := time.Now()
+	c.stats.Comp += now.Sub(c.mark)
+	c.mark = now
+	return c.stats
+}
+
+// exchange runs one transport round, attributing elapsed time to the
+// breakdown: everything since the last collective is Comp, in-call blocked
+// time is Idle, and the remainder of the call is CommT.
+func (c *Comm) exchange(out [][]byte) ([][]byte, error) {
+	start := time.Now()
+	c.stats.Comp += start.Sub(c.mark)
+
+	in, wait, err := c.tr.Exchange(out)
+
+	end := time.Now()
+	elapsed := end.Sub(start)
+	if wait > elapsed {
+		wait = elapsed
+	}
+	c.stats.Idle += wait
+	c.stats.CommT += elapsed - wait
+	c.stats.Exchanges++
+	c.mark = end
+	if err != nil {
+		return nil, err
+	}
+	self := c.Rank()
+	for i, m := range out {
+		if i != self {
+			c.stats.BytesSent += uint64(len(m))
+		}
+	}
+	for i, m := range in {
+		if i != self {
+			c.stats.BytesRecv += uint64(len(m))
+		}
+	}
+	return in, nil
+}
+
+// Barrier blocks until every rank has called Barrier.
+func (c *Comm) Barrier() error {
+	_, err := c.exchange(make([][]byte, c.Size()))
+	return err
+}

@@ -1,0 +1,53 @@
+package comm
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error produced by a FaultyTransport when its trigger
+// fires.
+var ErrInjected = errors.New("comm: injected fault")
+
+// FaultyTransport wraps a transport and fails the Nth Exchange call
+// (1-based) with ErrInjected, aborting the group so sibling ranks do not
+// deadlock. It exists for failure-injection tests: every collective-using
+// code path must surface a clean error when the fabric fails mid-run,
+// which is how real deployments die.
+type FaultyTransport struct {
+	Transport
+	// FailAt is the 1-based Exchange call that fails; 0 disables.
+	FailAt uint64
+
+	calls atomic.Uint64
+}
+
+// NewFaultyTransport wraps tr to fail its failAt-th exchange.
+func NewFaultyTransport(tr Transport, failAt uint64) *FaultyTransport {
+	return &FaultyTransport{Transport: tr, FailAt: failAt}
+}
+
+// Exchange implements Transport.
+func (f *FaultyTransport) Exchange(out [][]byte) ([][]byte, time.Duration, error) {
+	n := f.calls.Add(1)
+	if f.FailAt != 0 && n == f.FailAt {
+		// Wake the peers: a locally-detected fabric error must not leave
+		// the rest of the group blocked at the rendezvous.
+		if a, ok := f.Transport.(aborter); ok {
+			a.Abort()
+		}
+		return nil, 0, ErrInjected
+	}
+	return f.Transport.Exchange(out)
+}
+
+// Calls reports how many exchanges have been attempted.
+func (f *FaultyTransport) Calls() uint64 { return f.calls.Load() }
+
+// Abort forwards to the wrapped transport when supported.
+func (f *FaultyTransport) Abort() {
+	if a, ok := f.Transport.(aborter); ok {
+		a.Abort()
+	}
+}

@@ -1,0 +1,72 @@
+package comm
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// RunLocal executes fn SPMD-style on size in-process ranks (one goroutine
+// each) and blocks until all return. Per-rank errors are joined; a rank that
+// panics is converted to an error after all surviving ranks finish or
+// deadlock is avoided by the panic propagating first.
+//
+// RunLocal is the one-shot entry point; for repeated SPMD regions over the
+// same group (as the experiment harness does), construct a persistent group
+// with NewLocalGroup and keep the Comms alive.
+func RunLocal(size int, fn func(c *Comm) error) error {
+	trs := NewLocalGroup(size)
+	comms := make([]*Comm, size)
+	for r := range trs {
+		comms[r] = New(trs[r])
+	}
+	return RunOn(comms, fn)
+}
+
+// aborter is implemented by transports that can wake peers blocked at a
+// synchronization point after a local failure.
+type aborter interface{ Abort() }
+
+// RunOn executes fn on an existing set of communicators, one goroutine per
+// rank, and joins errors. All communicators must belong to the same group.
+//
+// If any rank fails (error return or panic), its transport's Abort is
+// invoked so sibling ranks blocked in collectives fail with ErrAborted
+// instead of deadlocking; the reported error carries the originating rank's
+// failure alongside the aborted siblings.
+func RunOn(comms []*Comm, fn func(c *Comm) error) error {
+	errs := make([]error, len(comms))
+	var wg sync.WaitGroup
+	wg.Add(len(comms))
+	for r := range comms {
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[r] = fmt.Errorf("rank %d panicked: %v", r, p)
+				}
+				if errs[r] != nil {
+					if a, ok := comms[r].Transport().(aborter); ok {
+						a.Abort()
+					}
+				}
+			}()
+			errs[r] = fn(comms[r])
+		}(r)
+	}
+	wg.Wait()
+	return joinErrors(errs)
+}
+
+func joinErrors(errs []error) error {
+	var msgs []string
+	for r, err := range errs {
+		if err != nil {
+			msgs = append(msgs, fmt.Sprintf("rank %d: %v", r, err))
+		}
+	}
+	if len(msgs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("comm: %s", strings.Join(msgs, "; "))
+}

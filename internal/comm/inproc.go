@@ -1,0 +1,135 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrAborted is returned by collectives on surviving ranks after another
+// rank aborts the group (error return or panic). Without it, a failed rank
+// would leave its peers blocked forever at the next synchronization point —
+// the in-process analogue of an MPI job hanging on a crashed rank.
+var ErrAborted = errors.New("comm: group aborted by another rank")
+
+// localWorld is the shared state of an in-process rank group: a
+// sense-reversing barrier plus one message board per rank.
+type localWorld struct {
+	size int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	count   int
+	gen     uint64
+	aborted bool
+
+	boards [][][]byte // boards[sender][dest]
+}
+
+// LocalTransport is one rank's handle on an in-process world. Create a full
+// group with NewLocalGroup.
+type LocalTransport struct {
+	w    *localWorld
+	rank int
+}
+
+// NewLocalGroup creates size ranks sharing one in-process world and returns
+// their transports, indexed by rank. Each transport must be used by exactly
+// one goroutine.
+func NewLocalGroup(size int) []*LocalTransport {
+	if size <= 0 {
+		panic("comm: group size must be positive")
+	}
+	w := &localWorld{
+		size:   size,
+		boards: make([][][]byte, size),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	ts := make([]*LocalTransport, size)
+	for r := 0; r < size; r++ {
+		ts[r] = &LocalTransport{w: w, rank: r}
+	}
+	return ts
+}
+
+// Rank returns this transport's rank.
+func (t *LocalTransport) Rank() int { return t.rank }
+
+// Size returns the number of ranks in the group.
+func (t *LocalTransport) Size() int { return t.w.size }
+
+// barrier blocks until all ranks of the world have arrived and returns the
+// time spent blocked. It fails with ErrAborted if the group is aborted
+// before or while waiting.
+func (w *localWorld) barrier() (time.Duration, error) {
+	start := time.Now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.aborted {
+		return time.Since(start), ErrAborted
+	}
+	gen := w.gen
+	w.count++
+	if w.count == w.size {
+		w.count = 0
+		w.gen++
+		w.cond.Broadcast()
+	} else {
+		for gen == w.gen && !w.aborted {
+			w.cond.Wait()
+		}
+		if w.aborted {
+			return time.Since(start), ErrAborted
+		}
+	}
+	return time.Since(start), nil
+}
+
+// Abort marks the group failed and wakes every rank blocked at a
+// synchronization point; their in-flight and future collectives return
+// ErrAborted.
+func (t *LocalTransport) Abort() {
+	w := t.w
+	w.mu.Lock()
+	w.aborted = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// Exchange implements Transport. Message bytes are copied on receipt, so
+// callers may immediately reuse their send buffers, mirroring MPI_Alltoallv
+// semantics.
+func (t *LocalTransport) Exchange(out [][]byte) ([][]byte, time.Duration, error) {
+	w := t.w
+	if len(out) != w.size {
+		return nil, 0, fmt.Errorf("comm: Exchange with %d messages for %d ranks", len(out), w.size)
+	}
+	// Publish our outgoing messages, then wait for everyone to publish.
+	w.boards[t.rank] = out
+	wait, err := w.barrier()
+	if err != nil {
+		return nil, wait, err
+	}
+
+	// Copy our column of the board: in[i] is sender i's message to us.
+	in := make([][]byte, w.size)
+	for i := 0; i < w.size; i++ {
+		msg := w.boards[i][t.rank]
+		cp := make([]byte, len(msg))
+		copy(cp, msg)
+		in[i] = cp
+	}
+
+	// Wait for everyone to finish copying before any rank can reuse or
+	// republish its board in a subsequent round.
+	w2, err := w.barrier()
+	wait += w2
+	if err != nil {
+		return nil, wait, err
+	}
+	return in, wait, nil
+}
+
+// Close implements Transport. In-process transports hold no resources.
+func (t *LocalTransport) Close() error { return nil }

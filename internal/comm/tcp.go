@@ -1,0 +1,309 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// tcpMagic begins every frame so desynchronized streams fail fast instead
+// of mis-parsing payload bytes as headers.
+const tcpMagic = 0x47583031 // "GX01"
+
+// maxFrameLen bounds a single message; larger graphs exchange more, smaller
+// frames. 1 GiB is far beyond anything the harness sends and exists only to
+// turn stream corruption into an error instead of an OOM.
+const maxFrameLen = 1 << 30
+
+// TCPTransport connects a rank into a full mesh of TCP connections, one
+// per peer, and implements the same Exchange contract as the in-process
+// transport. Every rank must be started with the same address list; rank r
+// listens on addrs[r].
+type TCPTransport struct {
+	rank  int
+	size  int
+	peers []net.Conn // indexed by rank; peers[rank] == nil
+	ln    net.Listener
+	seq   uint64
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// DialMesh establishes the mesh. Ranks may start in any order: each rank
+// listens on addrs[rank], dials every lower rank (retrying until timeout),
+// and accepts connections from every higher rank. The returned transport is
+// ready for collectives on all ranks once every rank's DialMesh returns.
+func DialMesh(rank int, addrs []string, timeout time.Duration) (*TCPTransport, error) {
+	size := len(addrs)
+	if rank < 0 || rank >= size {
+		return nil, fmt.Errorf("comm: rank %d out of range for %d addresses", rank, size)
+	}
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+
+	t := &TCPTransport{rank: rank, size: size, peers: make([]net.Conn, size)}
+
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("comm: rank %d listen %s: %w", rank, addrs[rank], err)
+	}
+	t.ln = ln
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	// Accept connections from higher-numbered ranks.
+	nAccept := size - 1 - rank
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < nAccept; i++ {
+			if d, ok := ln.(*net.TCPListener); ok {
+				_ = d.SetDeadline(deadline)
+			}
+			conn, err := ln.Accept()
+			if err != nil {
+				fail(fmt.Errorf("comm: rank %d accept: %w", rank, err))
+				return
+			}
+			var hello [8]byte
+			if _, err := io.ReadFull(conn, hello[:]); err != nil {
+				fail(fmt.Errorf("comm: rank %d handshake read: %w", rank, err))
+				conn.Close()
+				return
+			}
+			if binary.LittleEndian.Uint32(hello[:4]) != tcpMagic {
+				fail(fmt.Errorf("comm: rank %d bad handshake magic", rank))
+				conn.Close()
+				return
+			}
+			peer := int(binary.LittleEndian.Uint32(hello[4:]))
+			if peer <= rank || peer >= size {
+				fail(fmt.Errorf("comm: rank %d handshake from invalid peer %d", rank, peer))
+				conn.Close()
+				return
+			}
+			mu.Lock()
+			dup := t.peers[peer] != nil
+			if !dup {
+				t.peers[peer] = conn
+			}
+			mu.Unlock()
+			if dup {
+				fail(fmt.Errorf("comm: rank %d duplicate connection from peer %d", rank, peer))
+				conn.Close()
+				return
+			}
+			tuneConn(conn)
+		}
+	}()
+
+	// Dial lower-numbered ranks, retrying while their listeners come up.
+	for peer := 0; peer < rank; peer++ {
+		wg.Add(1)
+		go func(peer int) {
+			defer wg.Done()
+			var conn net.Conn
+			var err error
+			for {
+				d := net.Dialer{Deadline: deadline}
+				conn, err = d.Dial("tcp", addrs[peer])
+				if err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					fail(fmt.Errorf("comm: rank %d dial rank %d (%s): %w", rank, peer, addrs[peer], err))
+					return
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			var hello [8]byte
+			binary.LittleEndian.PutUint32(hello[:4], tcpMagic)
+			binary.LittleEndian.PutUint32(hello[4:], uint32(rank))
+			if _, err := conn.Write(hello[:]); err != nil {
+				fail(fmt.Errorf("comm: rank %d handshake write to %d: %w", rank, peer, err))
+				conn.Close()
+				return
+			}
+			tuneConn(conn)
+			mu.Lock()
+			t.peers[peer] = conn
+			mu.Unlock()
+		}(peer)
+	}
+
+	wg.Wait()
+	if firstErr != nil {
+		t.Close()
+		return nil, firstErr
+	}
+	return t, nil
+}
+
+func tuneConn(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+}
+
+// Rank implements Transport.
+func (t *TCPTransport) Rank() int { return t.rank }
+
+// Size implements Transport.
+func (t *TCPTransport) Size() int { return t.size }
+
+// Exchange implements Transport. Sends to all peers proceed concurrently
+// with receives from all peers, so large symmetric exchanges cannot
+// deadlock on full kernel buffers. The wait estimate is the time between
+// completing local sends and completing all receives — the portion spent
+// blocked on slower peers.
+func (t *TCPTransport) Exchange(out [][]byte) ([][]byte, time.Duration, error) {
+	if len(out) != t.size {
+		return nil, 0, fmt.Errorf("comm: Exchange with %d messages for %d ranks", len(out), t.size)
+	}
+	t.seq++
+	seq := t.seq
+
+	in := make([][]byte, t.size)
+	// Self-delivery does not touch the network.
+	self := make([]byte, len(out[t.rank]))
+	copy(self, out[t.rank])
+	in[t.rank] = self
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	var sendsDone time.Time
+	var sendWG sync.WaitGroup
+	for peer := 0; peer < t.size; peer++ {
+		if peer == t.rank {
+			continue
+		}
+		wg.Add(2)
+		sendWG.Add(1)
+
+		go func(peer int) { // sender
+			defer wg.Done()
+			defer sendWG.Done()
+			if err := writeFrame(t.peers[peer], seq, out[peer]); err != nil {
+				fail(fmt.Errorf("comm: rank %d send to %d: %w", t.rank, peer, err))
+			}
+		}(peer)
+
+		go func(peer int) { // receiver
+			defer wg.Done()
+			payload, gotSeq, err := readFrame(t.peers[peer])
+			if err != nil {
+				fail(fmt.Errorf("comm: rank %d recv from %d: %w", t.rank, peer, err))
+				return
+			}
+			if gotSeq != seq {
+				fail(fmt.Errorf("comm: rank %d recv from %d: sequence %d, want %d", t.rank, peer, gotSeq, seq))
+				return
+			}
+			in[peer] = payload
+		}(peer)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		sendWG.Wait()
+		sendsDone = time.Now()
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+
+	if firstErr != nil {
+		return nil, 0, firstErr
+	}
+	wait := time.Since(sendsDone)
+	if wait < 0 {
+		wait = 0
+	}
+	return in, wait, nil
+}
+
+func writeFrame(conn net.Conn, seq uint64, payload []byte) error {
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], tcpMagic)
+	binary.LittleEndian.PutUint64(hdr[4:12], seq)
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(len(payload)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := conn.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readFrame(conn net.Conn) (payload []byte, seq uint64, err error) {
+	var hdr [20]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != tcpMagic {
+		return nil, 0, fmt.Errorf("bad frame magic")
+	}
+	seq = binary.LittleEndian.Uint64(hdr[4:12])
+	n := binary.LittleEndian.Uint64(hdr[12:20])
+	if n > maxFrameLen {
+		return nil, 0, fmt.Errorf("frame length %d exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return nil, 0, err
+	}
+	return payload, seq, nil
+}
+
+// Close tears down all connections and the listener. Peers blocked in
+// Exchange observe read errors, so Close doubles as the abort mechanism for
+// the TCP transport.
+func (t *TCPTransport) Close() error {
+	t.closeOnce.Do(func() {
+		if t.ln != nil {
+			t.closeErr = t.ln.Close()
+		}
+		for _, c := range t.peers {
+			if c != nil {
+				if err := c.Close(); err != nil && t.closeErr == nil {
+					t.closeErr = err
+				}
+			}
+		}
+	})
+	return t.closeErr
+}
+
+// Abort satisfies the aborter interface used by RunOn.
+func (t *TCPTransport) Abort() { _ = t.Close() }

@@ -1,0 +1,43 @@
+// Package comm is the message-passing runtime substituting for MPI: typed
+// collectives (Alltoallv, Allreduce, Allgather(v), Bcast, Barrier, scans)
+// over pluggable transports.
+//
+// Two transports are provided. The in-process transport runs every rank as
+// a goroutine in one OS process and moves messages through shared memory
+// rendezvous boards; it is the default for tests, benchmarks, and the
+// single-machine experiment harness. The TCP transport runs every rank as
+// its own OS process in a full mesh of TCP connections, demonstrating the
+// same analytics over a genuine distributed transport. Both serialize every
+// message to bytes, so communication volume and synchronization structure
+// are identical between the two.
+//
+// The programming model is SPMD exactly as with MPI: every rank executes
+// the same function, collectives are called collectively (every rank must
+// reach each collective in the same order), and a rank's Comm must only be
+// used from that rank's goroutine.
+package comm
+
+import "time"
+
+// Transport moves byte messages between ranks. Implementations must ensure
+// Exchange acts as a synchronization point: no rank's Exchange returns until
+// every rank has contributed its messages for that round.
+type Transport interface {
+	// Rank returns this transport's rank in [0, Size()).
+	Rank() int
+	// Size returns the number of ranks.
+	Size() int
+	// Exchange sends out[i] to rank i (including out[Rank()], which is
+	// delivered back to self) and returns the messages received from every
+	// rank. len(out) must equal Size(). wait reports the portion of the
+	// call spent blocked waiting for other ranks (idle time at the
+	// synchronization point, as distinct from data-movement time).
+	//
+	// The returned slices are owned by the caller; the transport does not
+	// retain or reuse them. The caller likewise retains ownership of out
+	// once Exchange returns.
+	Exchange(out [][]byte) (in [][]byte, wait time.Duration, err error)
+	// Close releases transport resources. After Close the transport must
+	// not be used.
+	Close() error
+}

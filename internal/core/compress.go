@@ -1,0 +1,119 @@
+package core
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// This file implements the compressed graph representation the paper's
+// conclusion names as future work ("a performance-portable graph
+// compression method that will allow us to execute graph analytics with an
+// even smaller memory footprint"): per-vertex adjacency lists sorted,
+// delta-encoded, and varint-packed, in the style of WebGraph-like codecs
+// but kept simple and portable.
+//
+// A Compressed view shares the Graph's id space (local ids, ghosts, map,
+// unmap), replacing only the edge arrays. Analytics iterate adjacency
+// through a decode-into-scratch API, so per-iteration allocation is zero
+// after warm-up.
+
+// Compressed is a compact read-only view of one rank's shard.
+type Compressed struct {
+	// G is the underlying graph for everything except edge storage. Its
+	// OutEdges/InEdges may be released by the caller after compression.
+	G *Graph
+
+	outOff  []uint64 // byte offsets into outBuf, len NLoc+1
+	outBuf  []byte
+	inOff   []uint64
+	inBuf   []byte
+	maxDeg  int
+	rawByte uint64
+}
+
+// Compress builds the compressed view. Neighbor lists are sorted as a side
+// effect of delta encoding; analytics in this repository are insensitive to
+// adjacency order.
+func Compress(g *Graph) *Compressed {
+	c := &Compressed{G: g}
+	c.outOff, c.outBuf = compressCSR(g.OutIdx, g.OutEdges, g.NLoc)
+	c.inOff, c.inBuf = compressCSR(g.InIdx, g.InEdges, g.NLoc)
+	for v := uint32(0); v < g.NLoc; v++ {
+		if d := int(g.OutDegree(v)); d > c.maxDeg {
+			c.maxDeg = d
+		}
+		if d := int(g.InDegree(v)); d > c.maxDeg {
+			c.maxDeg = d
+		}
+	}
+	c.rawByte = uint64(len(g.OutEdges)+len(g.InEdges)) * 4
+	return c
+}
+
+func compressCSR(idx []uint64, edges []uint32, nloc uint32) ([]uint64, []byte) {
+	off := make([]uint64, nloc+1)
+	buf := make([]byte, 0, len(edges)) // optimistic: ~1 byte per edge
+	scratch := make([]uint32, 0, 256)
+	for v := uint32(0); v < nloc; v++ {
+		nbrs := edges[idx[v]:idx[v+1]]
+		scratch = append(scratch[:0], nbrs...)
+		sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+		prev := uint32(0)
+		for i, u := range scratch {
+			delta := uint64(u)
+			if i > 0 {
+				delta = uint64(u - prev) // sorted: non-negative; 0 for multi-edges
+			}
+			buf = binary.AppendUvarint(buf, delta)
+			prev = u
+		}
+		off[v+1] = uint64(len(buf))
+	}
+	return off, buf
+}
+
+// MaxDegree returns the largest local adjacency length — the scratch size
+// Decode callers need.
+func (c *Compressed) MaxDegree() int { return c.maxDeg }
+
+// CompressedBytes returns the edge-storage footprint of the compressed
+// view.
+func (c *Compressed) CompressedBytes() uint64 {
+	return uint64(len(c.outBuf)+len(c.inBuf)) + uint64(len(c.outOff)+len(c.inOff))*8
+}
+
+// RawBytes returns the uncompressed edge-array footprint it replaces.
+func (c *Compressed) RawBytes() uint64 { return c.rawByte }
+
+// OutNeighbors decodes owned vertex v's out-neighbors into buf (which must
+// have capacity; use MaxDegree) and returns the filled prefix.
+func (c *Compressed) OutNeighbors(v uint32, buf []uint32) []uint32 {
+	return decodeAdj(c.outBuf[c.outOff[v]:c.outOff[v+1]], buf)
+}
+
+// InNeighbors decodes owned vertex v's in-neighbors into buf.
+func (c *Compressed) InNeighbors(v uint32, buf []uint32) []uint32 {
+	return decodeAdj(c.inBuf[c.inOff[v]:c.inOff[v+1]], buf)
+}
+
+// OutDegree returns the out-degree of owned vertex v (from the uncompressed
+// index, which the Graph retains).
+func (c *Compressed) OutDegree(v uint32) uint64 { return c.G.OutDegree(v) }
+
+func decodeAdj(b []byte, buf []uint32) []uint32 {
+	out := buf[:0]
+	var acc uint32
+	first := true
+	for len(b) > 0 {
+		delta, n := binary.Uvarint(b)
+		b = b[n:]
+		if first {
+			acc = uint32(delta)
+			first = false
+		} else {
+			acc += uint32(delta)
+		}
+		out = append(out, acc)
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/gen"
+	"repro/internal/partition"
+)
+
+func buildSingle(t *testing.T, spec gen.Spec) *Graph {
+	t.Helper()
+	var g *Graph
+	err := comm.RunLocal(1, func(c *comm.Comm) error {
+		ctx := NewCtx(c, 1)
+		pt := partition.NewVertexBlock(spec.NumVertices, 1)
+		var err error
+		g, _, err = Build(ctx, SpecSource{Spec: spec}, pt)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCompressRoundTripsAdjacency(t *testing.T) {
+	spec := gen.Spec{Kind: gen.RMAT, NumVertices: 1 << 10, NumEdges: 1 << 14, Seed: 3}
+	g := buildSingle(t, spec)
+	cg := Compress(g)
+	buf := make([]uint32, cg.MaxDegree())
+	for v := uint32(0); v < g.NLoc; v++ {
+		want := append([]uint32(nil), g.OutNeighbors(v)...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := cg.OutNeighbors(v, buf)
+		if len(got) != len(want) {
+			t.Fatalf("vertex %d: %d out-neighbors, want %d", v, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("vertex %d out[%d] = %d, want %d", v, i, got[i], want[i])
+			}
+		}
+		wantIn := append([]uint32(nil), g.InNeighbors(v)...)
+		sort.Slice(wantIn, func(i, j int) bool { return wantIn[i] < wantIn[j] })
+		gotIn := cg.InNeighbors(v, buf)
+		if len(gotIn) != len(wantIn) {
+			t.Fatalf("vertex %d: %d in-neighbors, want %d", v, len(gotIn), len(wantIn))
+		}
+		for i := range wantIn {
+			if gotIn[i] != wantIn[i] {
+				t.Fatalf("vertex %d in[%d] = %d, want %d", v, i, gotIn[i], wantIn[i])
+			}
+		}
+	}
+}
+
+func TestCompressShrinksEdgeStorage(t *testing.T) {
+	// Locality-friendly ids (a single-rank block build keeps natural
+	// order) make deltas small; compressed storage must be well under the
+	// raw 4 bytes per endpoint.
+	spec := gen.Spec{Kind: gen.RMAT, NumVertices: 1 << 14, NumEdges: 1 << 19, Seed: 5}
+	g := buildSingle(t, spec)
+	cg := Compress(g)
+	if cg.RawBytes() == 0 {
+		t.Fatal("raw size zero")
+	}
+	ratio := float64(cg.CompressedBytes()) / float64(cg.RawBytes())
+	t.Logf("compressed/raw = %.3f (%d / %d bytes)", ratio, cg.CompressedBytes(), cg.RawBytes())
+	if ratio > 0.9 {
+		t.Fatalf("compression ineffective: ratio %.3f", ratio)
+	}
+}
+
+func TestCompressSelfLoopsAndMultiEdges(t *testing.T) {
+	g := buildSingle(t, gen.Spec{Kind: gen.ER, NumVertices: 4, NumEdges: 64, Seed: 1})
+	cg := Compress(g)
+	buf := make([]uint32, cg.MaxDegree())
+	total := 0
+	for v := uint32(0); v < g.NLoc; v++ {
+		total += len(cg.OutNeighbors(v, buf))
+	}
+	if total != 64 {
+		t.Fatalf("decoded %d out-edges, want 64 (multi-edges must survive)", total)
+	}
+}
+
+func TestCompressEmptyAdjacency(t *testing.T) {
+	g := buildSingle(t, gen.Spec{Kind: gen.ER, NumVertices: 8, NumEdges: 1, Seed: 2})
+	cg := Compress(g)
+	buf := make([]uint32, cg.MaxDegree())
+	empty := 0
+	for v := uint32(0); v < g.NLoc; v++ {
+		if len(cg.OutNeighbors(v, buf)) == 0 {
+			empty++
+		}
+	}
+	if empty < 6 {
+		t.Fatalf("expected mostly empty adjacencies, got %d empty", empty)
+	}
+}
+
+func TestCompressMultiRank(t *testing.T) {
+	spec := gen.Spec{Kind: gen.RMAT, NumVertices: 512, NumEdges: 4096, Seed: 9}
+	err := comm.RunLocal(4, func(c *comm.Comm) error {
+		ctx := NewCtx(c, 1)
+		pt := partition.NewRandom(spec.NumVertices, 4, 7)
+		g, _, err := Build(ctx, SpecSource{Spec: spec}, pt)
+		if err != nil {
+			return err
+		}
+		cg := Compress(g)
+		buf := make([]uint32, cg.MaxDegree())
+		for v := uint32(0); v < g.NLoc; v++ {
+			if uint64(len(cg.OutNeighbors(v, buf))) != g.OutDegree(v) {
+				return fmt.Errorf("rank %d vertex %d degree mismatch", c.Rank(), v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+// Package core implements the paper's primary contribution: the compact
+// distributed graph representation of Table II and the end-to-end
+// construction pipeline of §III-A — parallel ingestion of a raw edge list,
+// two Alltoallv edge shuffles (out-edges to source owners, reversed edges
+// to destination owners), and conversion to a task-local CSR with relabeled
+// local and ghost vertices.
+//
+// Everything a rank needs at runtime lives in two objects: a Ctx (its
+// communicator plus its intra-rank thread pool) and a Graph (its shard of
+// the distributed graph). The analytics package builds entirely on these.
+package core
+
+import (
+	"repro/internal/comm"
+	"repro/internal/par"
+)
+
+// Ctx bundles one rank's execution resources: the communicator for
+// inter-rank collectives (the MPI role) and the worker pool for intra-rank
+// loops (the OpenMP role). A Ctx is confined to its rank's goroutine.
+type Ctx struct {
+	Comm *comm.Comm
+	Pool *par.Pool
+}
+
+// NewCtx returns a context with the given number of intra-rank threads
+// (<= 0 selects runtime.NumCPU()).
+func NewCtx(c *comm.Comm, threads int) *Ctx {
+	return &Ctx{Comm: c, Pool: par.NewPool(threads)}
+}
+
+// Rank returns the rank id.
+func (ctx *Ctx) Rank() int { return ctx.Comm.Rank() }
+
+// Size returns the number of ranks.
+func (ctx *Ctx) Size() int { return ctx.Comm.Size() }

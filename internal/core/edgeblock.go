@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/edge"
+	"repro/internal/gen"
+	"repro/internal/partition"
+)
+
+// EdgeBlockPartitioner computes the edge-block partitioner (§III-B: each
+// task gets a contiguous vertex range carrying ~m/p edges) with a
+// distributed degree pass, and returns the identical partitioner on every
+// rank.
+//
+// The pass works under a provisional vertex-block partition: each rank
+// counts the degree mass its edge chunk contributes to every provisional
+// range as a dense array, Alltoallv's the segments to their provisional
+// owners, locally prefixes its degree range seeded by an exclusive scan of
+// range masses, locates the global cut points falling inside its range, and
+// the cut points are combined with a max-reduction. Communication is O(n)
+// words per rank, independent of m.
+func EdgeBlockPartitioner(ctx *Ctx, src EdgeSource, n uint32) (*partition.Block, error) {
+	p := ctx.Size()
+	rank := ctx.Rank()
+	prov := partition.NewVertexBlock(n, p)
+	provBounds := prov.Bounds()
+
+	// Count this rank's chunk's degree contributions, dense over all n
+	// vertices (mass = in-degree + out-degree: each edge contributes to
+	// both of its endpoints, matching the per-vertex work of processing
+	// both CSRs).
+	lo, hi := gen.ChunkRange(src.NumEdges(), rank, p)
+	contrib := make([]uint32, n)
+	const batch = 1 << 18
+	for at := lo; at < hi; at += batch {
+		end := at + batch
+		if end > hi {
+			end = hi
+		}
+		chunk, err := src.ReadChunk(at, end)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range chunk {
+			if v >= n {
+				return nil, fmt.Errorf("core: edge endpoint %d outside vertex count %d", v, n)
+			}
+			contrib[v]++
+		}
+	}
+
+	// Ship each provisional range's contributions to its owner and sum.
+	counts := make([]int, p)
+	for d := 0; d < p; d++ {
+		counts[d] = int(provBounds[d+1] - provBounds[d])
+	}
+	recv, recvCounts, err := comm.Alltoallv(ctx.Comm, contrib, counts)
+	if err != nil {
+		return nil, err
+	}
+	myLo, myHi := provBounds[rank], provBounds[rank+1]
+	myN := int(myHi - myLo)
+	deg := make([]uint64, myN)
+	at := 0
+	for s := 0; s < p; s++ {
+		if recvCounts[s] != myN {
+			return nil, fmt.Errorf("core: degree segment from rank %d has %d entries, want %d", s, recvCounts[s], myN)
+		}
+		for i := 0; i < myN; i++ {
+			deg[i] += uint64(recv[at+i])
+		}
+		at += recvCounts[s]
+	}
+
+	// Global prefix context for this range.
+	var myMass uint64
+	for _, d := range deg {
+		myMass += d
+	}
+	myStart, err := comm.ExScan(ctx.Comm, myMass, comm.OpSum, 0)
+	if err != nil {
+		return nil, err
+	}
+	total, err := comm.Allreduce(ctx.Comm, myMass, comm.OpSum)
+	if err != nil {
+		return nil, err
+	}
+
+	// Locate the cut targets k*total/p that fall inside this range,
+	// reproducing partition.EdgeBlockBounds exactly: bounds[k] is v+1 for
+	// the first vertex v whose inclusive prefix reaches target k.
+	candidates := make([]uint32, p+1)
+	for k := 1; k < p; k++ {
+		t := total * uint64(k) / uint64(p)
+		if t == 0 {
+			// Every prefix (even before any mass) reaches a zero target;
+			// the sequential code assigns v+1 = 1 at the first vertex.
+			if rank == 0 {
+				candidates[k] = 1
+			}
+			continue
+		}
+		if t <= myStart || t > myStart+myMass {
+			continue
+		}
+		acc := myStart
+		for i := 0; i < myN; i++ {
+			acc += deg[i]
+			if acc >= t {
+				candidates[k] = myLo + uint32(i) + 1
+				break
+			}
+		}
+	}
+	bounds, err := comm.AllreduceSlice(ctx.Comm, candidates, comm.OpMax)
+	if err != nil {
+		return nil, err
+	}
+	bounds[0] = 0
+	bounds[p] = n
+	// Monotonicity: a cut target can precede an earlier-set one only in
+	// degenerate all-zero prefixes; clamp like the sequential code's
+	// trailing fill.
+	for k := 1; k <= p; k++ {
+		if bounds[k] < bounds[k-1] {
+			bounds[k] = bounds[k-1]
+		}
+	}
+	return partition.NewEdgeBlockFromBounds(bounds)
+}
+
+// MakePartitioner builds the requested partitioner collectively. seed only
+// affects random partitioning.
+func MakePartitioner(ctx *Ctx, src EdgeSource, kind partition.Kind, n uint32, seed uint64) (partition.Partitioner, error) {
+	switch kind {
+	case partition.VertexBlock:
+		return partition.NewVertexBlock(n, ctx.Size()), nil
+	case partition.EdgeBlock:
+		return EdgeBlockPartitioner(ctx, src, n)
+	case partition.Random:
+		return partition.NewRandom(n, ctx.Size(), seed), nil
+	case partition.PuLPKind:
+		return pulpPartitioner(ctx, src, n, seed)
+	default:
+		return nil, fmt.Errorf("core: unknown partition kind %v", kind)
+	}
+}
+
+// pulpPartitioner computes the PuLP-style assignment on rank 0 (PuLP is a
+// single-node tool, like the original) and broadcasts the owner array.
+func pulpPartitioner(ctx *Ctx, src EdgeSource, n uint32, seed uint64) (partition.Partitioner, error) {
+	var owners []int32
+	if ctx.Rank() == 0 {
+		edges, err := readAllEdges(src)
+		if err != nil {
+			// Propagate through the broadcast path so all ranks fail
+			// together rather than deadlocking.
+			owners = nil
+		} else {
+			opts := partition.DefaultPuLP()
+			opts.Seed = seed
+			ex, perr := partition.PuLP(n, edges, ctx.Size(), opts)
+			if perr != nil {
+				owners = nil
+			} else {
+				owners = ex.Owners()
+			}
+		}
+	}
+	owners, err := comm.Bcast(ctx.Comm, owners, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(owners) != int(n) {
+		return nil, fmt.Errorf("core: PuLP assignment failed on rank 0")
+	}
+	return partition.NewExplicit(owners, ctx.Size())
+}
+
+// readAllEdges materializes the whole edge list (used only by the
+// single-node PuLP path; fine at the scales PuLP targets).
+func readAllEdges(src EdgeSource) (edge.List, error) {
+	const batch = 1 << 18
+	m := src.NumEdges()
+	out := edge.Make(int(m))
+	for at := uint64(0); at < m; at += batch {
+		end := at + batch
+		if end > m {
+			end = m
+		}
+		chunk, err := src.ReadChunk(at, end)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+	"repro/internal/vmap"
+)
+
+// InvalidLocal is the sentinel for "no local id".
+const InvalidLocal = ^uint32(0)
+
+// Graph is one rank's shard of the distributed graph — the exact structural
+// state of the paper's Table II. Local vertices are relabeled to
+// [0, NLoc) in ascending global-id order; ghost vertices (endpoints of
+// local edges owned by other ranks) occupy [NLoc, NLoc+NGst) in order of
+// first appearance during conversion. Per-vertex analytic state is then a
+// flat (NLoc+NGst)-length array instead of a hash map — the paper's central
+// data-structure decision.
+type Graph struct {
+	// NGlobal and MGlobal are the global vertex and directed edge counts.
+	NGlobal uint32
+	MGlobal uint64
+
+	// NLoc and NGst count owned and ghost vertices on this rank.
+	NLoc uint32
+	NGst uint32
+
+	// OutIdx/OutEdges are the CSR of out-edges of owned vertices: the
+	// out-neighbors of local vertex v (in local ids) are
+	// OutEdges[OutIdx[v]:OutIdx[v+1]]. MOut == OutIdx[NLoc].
+	OutIdx   []uint64
+	OutEdges []uint32
+
+	// InIdx/InEdges are the CSR of in-edges of owned vertices.
+	InIdx   []uint64
+	InEdges []uint32
+
+	// Unmap translates local ids (owned and ghost) back to global ids:
+	// the paper's unmap array.
+	Unmap []uint32
+
+	// Map translates global ids to local ids for every owned and ghost
+	// vertex: the paper's linear-probing hash map.
+	Map *vmap.Map
+
+	// GhostOwner[g] is the owning rank of ghost NLoc+g: the paper's
+	// "tasks" array. (With block partitionings it could be recomputed from
+	// the global id, but as the paper notes, general partitionings require
+	// holding it.)
+	GhostOwner []int32
+
+	// Part is the partitioner the graph was built with.
+	Part partition.Partitioner
+
+	rank int
+}
+
+// MOut returns the number of task-local out-edges.
+func (g *Graph) MOut() uint64 { return g.OutIdx[g.NLoc] }
+
+// MIn returns the number of task-local in-edges.
+func (g *Graph) MIn() uint64 { return g.InIdx[g.NLoc] }
+
+// NTotal returns NLoc+NGst, the length of per-vertex state arrays.
+func (g *Graph) NTotal() uint32 { return g.NLoc + g.NGst }
+
+// Rank returns the owning rank of this shard.
+func (g *Graph) Rank() int { return g.rank }
+
+// OutNeighbors returns the out-neighbor local ids of owned vertex v.
+// The slice aliases graph storage and must not be modified.
+func (g *Graph) OutNeighbors(v uint32) []uint32 {
+	return g.OutEdges[g.OutIdx[v]:g.OutIdx[v+1]]
+}
+
+// InNeighbors returns the in-neighbor local ids of owned vertex v.
+func (g *Graph) InNeighbors(v uint32) []uint32 {
+	return g.InEdges[g.InIdx[v]:g.InIdx[v+1]]
+}
+
+// OutDegree returns the out-degree of owned vertex v.
+func (g *Graph) OutDegree(v uint32) uint64 { return g.OutIdx[v+1] - g.OutIdx[v] }
+
+// InDegree returns the in-degree of owned vertex v.
+func (g *Graph) InDegree(v uint32) uint64 { return g.InIdx[v+1] - g.InIdx[v] }
+
+// IsLocal reports whether local id lid is an owned (non-ghost) vertex.
+func (g *Graph) IsLocal(lid uint32) bool { return lid < g.NLoc }
+
+// OwnerOf returns the rank owning local id lid (this rank for owned
+// vertices, the ghost's home rank otherwise) — the paper's gettask.
+func (g *Graph) OwnerOf(lid uint32) int {
+	if lid < g.NLoc {
+		return g.rank
+	}
+	return int(g.GhostOwner[lid-g.NLoc])
+}
+
+// GlobalID returns the global id of local id lid.
+func (g *Graph) GlobalID(lid uint32) uint32 { return g.Unmap[lid] }
+
+// LocalID returns the local id of global vertex gid, or InvalidLocal if
+// gid is neither owned nor a ghost on this rank.
+func (g *Graph) LocalID(gid uint32) uint32 {
+	return g.Map.GetOr(gid, InvalidLocal)
+}
+
+// MustLocalID returns the local id of gid, panicking if unknown; receive
+// loops use it because a miss there means the exchange routed a message to
+// the wrong rank.
+func (g *Graph) MustLocalID(gid uint32) uint32 { return g.Map.MustGet(gid) }
+
+// Validate checks the structural invariants of the shard; it is used by
+// tests and by the harness after construction. It is O(NTotal + MOut + MIn).
+func (g *Graph) Validate() error {
+	if int(g.NTotal()) != len(g.Unmap) {
+		return fmt.Errorf("core: unmap length %d != NLoc+NGst %d", len(g.Unmap), g.NTotal())
+	}
+	if len(g.OutIdx) != int(g.NLoc)+1 || len(g.InIdx) != int(g.NLoc)+1 {
+		return fmt.Errorf("core: CSR index lengths %d/%d for NLoc %d", len(g.OutIdx), len(g.InIdx), g.NLoc)
+	}
+	if g.Map.Len() != int(g.NTotal()) {
+		return fmt.Errorf("core: map has %d entries, want %d", g.Map.Len(), g.NTotal())
+	}
+	for lid, gid := range g.Unmap {
+		if got := g.Map.GetOr(gid, InvalidLocal); got != uint32(lid) {
+			return fmt.Errorf("core: map[%d] = %d, unmap says %d", gid, got, lid)
+		}
+	}
+	for v := uint32(0); v < g.NLoc; v++ {
+		if g.OutIdx[v] > g.OutIdx[v+1] || g.InIdx[v] > g.InIdx[v+1] {
+			return fmt.Errorf("core: decreasing CSR index at %d", v)
+		}
+		if g.Part.Owner(g.Unmap[v]) != g.rank {
+			return fmt.Errorf("core: owned vertex %d belongs to rank %d", g.Unmap[v], g.Part.Owner(g.Unmap[v]))
+		}
+	}
+	for gi := uint32(0); gi < g.NGst; gi++ {
+		gid := g.Unmap[g.NLoc+gi]
+		if int(g.GhostOwner[gi]) != g.Part.Owner(gid) {
+			return fmt.Errorf("core: ghost %d owner %d, partitioner says %d", gid, g.GhostOwner[gi], g.Part.Owner(gid))
+		}
+		if g.GhostOwner[gi] == int32(g.rank) {
+			return fmt.Errorf("core: ghost %d owned by this rank", gid)
+		}
+	}
+	for _, e := range g.OutEdges {
+		if e >= g.NTotal() {
+			return fmt.Errorf("core: out-edge endpoint %d out of range", e)
+		}
+	}
+	for _, e := range g.InEdges {
+		if e >= g.NTotal() {
+			return fmt.Errorf("core: in-edge endpoint %d out of range", e)
+		}
+	}
+	return nil
+}

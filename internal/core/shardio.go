@@ -1,0 +1,222 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/partition"
+	"repro/internal/vmap"
+)
+
+// Shard serialization: a built Graph can be written per rank and reloaded
+// later, skipping ingestion and the two exchange phases entirely. The
+// format is versioned and self-describing (it embeds the partitioner), so
+// a saved shard set reloads on the same rank count with full analytic
+// capability.
+
+const (
+	shardMagic   = 0x47535244 // "GSRD"
+	shardVersion = 1
+)
+
+// SaveShard writes the rank's shard to w.
+func SaveShard(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	put32 := func(v uint32) { writeU32(bw, v) }
+	put64 := func(v uint64) { writeU64(bw, v) }
+
+	put32(shardMagic)
+	put32(shardVersion)
+
+	pb, err := partition.Encode(g.Part)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	put64(uint64(len(pb)))
+	if _, err := bw.Write(pb); err != nil {
+		return err
+	}
+
+	put32(uint32(g.rank))
+	put32(g.NGlobal)
+	put64(g.MGlobal)
+	put32(g.NLoc)
+	put32(g.NGst)
+
+	put64(uint64(len(g.OutEdges)))
+	put64(uint64(len(g.InEdges)))
+	for _, v := range g.OutIdx {
+		put64(v)
+	}
+	for _, v := range g.OutEdges {
+		put32(v)
+	}
+	for _, v := range g.InIdx {
+		put64(v)
+	}
+	for _, v := range g.InEdges {
+		put32(v)
+	}
+	for _, v := range g.Unmap {
+		put32(v)
+	}
+	for _, v := range g.GhostOwner {
+		put32(uint32(v))
+	}
+	return bw.Flush()
+}
+
+// LoadShard reads a shard written by SaveShard. The global→local map is
+// rebuilt from the unmap array rather than stored.
+func LoadShard(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic, err := readU32(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: shard header: %w", err)
+	}
+	if magic != shardMagic {
+		return nil, fmt.Errorf("core: bad shard magic %#x", magic)
+	}
+	version, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if version != shardVersion {
+		return nil, fmt.Errorf("core: unsupported shard version %d", version)
+	}
+	plen, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	if plen > 1<<32 {
+		return nil, fmt.Errorf("core: absurd partitioner blob (%d bytes)", plen)
+	}
+	pb := make([]byte, plen)
+	if _, err := io.ReadFull(br, pb); err != nil {
+		return nil, err
+	}
+	pt, err := partition.Decode(pb)
+	if err != nil {
+		return nil, err
+	}
+
+	g := &Graph{Part: pt}
+	rank, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	g.rank = int(rank)
+	if g.NGlobal, err = readU32(br); err != nil {
+		return nil, err
+	}
+	if g.MGlobal, err = readU64(br); err != nil {
+		return nil, err
+	}
+	if g.NLoc, err = readU32(br); err != nil {
+		return nil, err
+	}
+	if g.NGst, err = readU32(br); err != nil {
+		return nil, err
+	}
+	mOut, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	mIn, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	if mOut > g.MGlobal || mIn > g.MGlobal {
+		return nil, fmt.Errorf("core: shard edge counts exceed global count")
+	}
+
+	g.OutIdx = make([]uint64, g.NLoc+1)
+	if err := readU64s(br, g.OutIdx); err != nil {
+		return nil, err
+	}
+	g.OutEdges = make([]uint32, mOut)
+	if err := readU32s(br, g.OutEdges); err != nil {
+		return nil, err
+	}
+	g.InIdx = make([]uint64, g.NLoc+1)
+	if err := readU64s(br, g.InIdx); err != nil {
+		return nil, err
+	}
+	g.InEdges = make([]uint32, mIn)
+	if err := readU32s(br, g.InEdges); err != nil {
+		return nil, err
+	}
+	g.Unmap = make([]uint32, g.NTotal())
+	if err := readU32s(br, g.Unmap); err != nil {
+		return nil, err
+	}
+	ghost := make([]uint32, g.NGst)
+	if err := readU32s(br, ghost); err != nil {
+		return nil, err
+	}
+	g.GhostOwner = make([]int32, g.NGst)
+	for i, v := range ghost {
+		g.GhostOwner[i] = int32(v)
+	}
+
+	g.Map = vmap.New(int(g.NTotal()))
+	for lid, gid := range g.Unmap {
+		g.Map.Put(gid, uint32(lid))
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("core: loaded shard invalid: %w", err)
+	}
+	return g, nil
+}
+
+func writeU32(w *bufio.Writer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.Write(b[:]) //nolint:errcheck // surfaced by the final Flush
+}
+
+func writeU64(w *bufio.Writer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.Write(b[:]) //nolint:errcheck // surfaced by the final Flush
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func readU32s(r io.Reader, out []uint32) error {
+	buf := make([]byte, 4*len(out))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(buf[4*i:])
+	}
+	return nil
+}
+
+func readU64s(r io.Reader, out []uint64) error {
+	buf := make([]byte, 8*len(out))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/gen"
+	"repro/internal/partition"
+)
+
+func TestShardSaveLoadRoundTrip(t *testing.T) {
+	spec := gen.Spec{Kind: gen.RMAT, NumVertices: 300, NumEdges: 2400, Seed: 17}
+	for _, kind := range []partition.Kind{partition.VertexBlock, partition.EdgeBlock, partition.Random, partition.PuLPKind} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			err := comm.RunLocal(3, func(c *comm.Comm) error {
+				ctx := NewCtx(c, 1)
+				src := SpecSource{Spec: spec}
+				pt, err := MakePartitioner(ctx, src, kind, spec.NumVertices, 55)
+				if err != nil {
+					return err
+				}
+				g, _, err := Build(ctx, src, pt)
+				if err != nil {
+					return err
+				}
+				var buf bytes.Buffer
+				if err := SaveShard(&buf, g); err != nil {
+					return err
+				}
+				g2, err := LoadShard(&buf)
+				if err != nil {
+					return err
+				}
+				// Structural equality.
+				if g2.NGlobal != g.NGlobal || g2.MGlobal != g.MGlobal ||
+					g2.NLoc != g.NLoc || g2.NGst != g.NGst || g2.Rank() != g.Rank() {
+					return fmt.Errorf("header mismatch: %+v vs %+v", g2, g)
+				}
+				for i := range g.OutIdx {
+					if g.OutIdx[i] != g2.OutIdx[i] {
+						return fmt.Errorf("OutIdx[%d] differs", i)
+					}
+				}
+				for i := range g.OutEdges {
+					if g.OutEdges[i] != g2.OutEdges[i] {
+						return fmt.Errorf("OutEdges[%d] differs", i)
+					}
+				}
+				for i := range g.InEdges {
+					if g.InEdges[i] != g2.InEdges[i] {
+						return fmt.Errorf("InEdges[%d] differs", i)
+					}
+				}
+				for i := range g.Unmap {
+					if g.Unmap[i] != g2.Unmap[i] {
+						return fmt.Errorf("Unmap[%d] differs", i)
+					}
+				}
+				for i := range g.GhostOwner {
+					if g.GhostOwner[i] != g2.GhostOwner[i] {
+						return fmt.Errorf("GhostOwner[%d] differs", i)
+					}
+				}
+				// Partitioner agreement on every vertex.
+				for v := uint32(0); v < g.NGlobal; v++ {
+					if g.Part.Owner(v) != g2.Part.Owner(v) {
+						return fmt.Errorf("partitioner disagrees at %d", v)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestLoadShardRejectsGarbage(t *testing.T) {
+	if _, err := LoadShard(bytes.NewReader([]byte("not a shard at all..."))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Correct magic, bad version.
+	var buf bytes.Buffer
+	bw := []byte{0x44, 0x52, 0x53, 0x47, 0xFF, 0, 0, 0}
+	buf.Write(bw)
+	if _, err := LoadShard(&buf); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	// Truncated mid-stream: save a real shard, cut it in half.
+	err := comm.RunLocal(1, func(c *comm.Comm) error {
+		ctx := NewCtx(c, 1)
+		spec := gen.Spec{Kind: gen.ER, NumVertices: 50, NumEdges: 200, Seed: 1}
+		g, _, err := Build(ctx, SpecSource{Spec: spec}, partition.NewVertexBlock(50, 1))
+		if err != nil {
+			return err
+		}
+		var full bytes.Buffer
+		if err := SaveShard(&full, g); err != nil {
+			return err
+		}
+		half := full.Bytes()[:full.Len()/2]
+		if _, err := LoadShard(bytes.NewReader(half)); err == nil {
+			return fmt.Errorf("truncated shard accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionCodecRoundTrip(t *testing.T) {
+	pts := []partition.Partitioner{
+		partition.NewVertexBlock(100, 4),
+		partition.NewRandom(100, 4, 77),
+	}
+	eb, err := partition.New(partition.EdgeBlock, 100, 4, 0, make([]uint64, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts = append(pts, eb)
+	ex, err := partition.NewExplicit([]int32{0, 1, 2, 3, 0, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts = append(pts, ex)
+	for _, pt := range pts {
+		b, err := partition.Encode(pt)
+		if err != nil {
+			t.Fatalf("%v: %v", pt.Kind(), err)
+		}
+		got, err := partition.Decode(b)
+		if err != nil {
+			t.Fatalf("%v: %v", pt.Kind(), err)
+		}
+		if got.Kind() != pt.Kind() || got.NumRanks() != pt.NumRanks() || got.NumVertices() != pt.NumVertices() {
+			t.Fatalf("%v: identity mismatch", pt.Kind())
+		}
+		for v := uint32(0); v < pt.NumVertices(); v++ {
+			if got.Owner(v) != pt.Owner(v) {
+				t.Fatalf("%v: Owner(%d) differs", pt.Kind(), v)
+			}
+		}
+	}
+	if _, err := partition.Decode([]byte{1, 2}); err == nil {
+		t.Fatal("short decode accepted")
+	}
+}

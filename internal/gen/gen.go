@@ -1,0 +1,174 @@
+// Package gen generates the synthetic graphs of the paper's evaluation:
+// R-MAT graphs (skewed, power-law-like degree distributions standing in for
+// the Web Data Commons crawl) and Erdős–Rényi random graphs (the paper's
+// Rand-ER), at arbitrary scale.
+//
+// Generation is embarrassingly parallel and fully deterministic: edge i of
+// a Spec is a pure function of (Spec.Seed, i), so any rank can generate any
+// contiguous chunk of the edge list and the resulting graph is identical
+// for every rank count. This mirrors how the paper's synthetic inputs are
+// produced independently of the machine configuration.
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/edge"
+	"repro/internal/rng"
+)
+
+// Kind selects a generator family.
+type Kind int
+
+// Generator families.
+const (
+	// RMAT is the recursive-matrix generator of Chakrabarti et al. (the
+	// paper's R-MAT inputs, citation [3]).
+	RMAT Kind = iota
+	// ER is the Erdős–Rényi G(n, m) uniform random multigraph (the
+	// paper's Rand-ER inputs).
+	ER
+)
+
+func (k Kind) String() string {
+	switch k {
+	case RMAT:
+		return "R-MAT"
+	case ER:
+		return "Rand-ER"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Spec describes a synthetic graph. The zero value is not useful; fill in
+// at least Kind, NumVertices, and NumEdges. Like the paper's inputs, the
+// generated list may contain self-loops and duplicate edges; the
+// construction pipeline takes graphs "as given in the original source".
+type Spec struct {
+	Kind        Kind
+	NumVertices uint32
+	NumEdges    uint64
+	// A, B, C, D are the R-MAT quadrant probabilities; if all zero the
+	// Graph500 defaults (0.57, 0.19, 0.19, 0.05) are used. Ignored for ER.
+	A, B, C, D float64
+	Seed       uint64
+}
+
+// withDefaults returns the spec with R-MAT parameters defaulted.
+func (s Spec) withDefaults() Spec {
+	if s.A == 0 && s.B == 0 && s.C == 0 && s.D == 0 {
+		s.A, s.B, s.C, s.D = 0.57, 0.19, 0.19, 0.05
+	}
+	return s
+}
+
+// Validate reports whether the spec is generatable.
+func (s Spec) Validate() error {
+	if s.NumVertices == 0 {
+		return fmt.Errorf("gen: zero vertices")
+	}
+	if s.NumVertices == ^uint32(0) {
+		return fmt.Errorf("gen: vertex count reserves the sentinel id")
+	}
+	d := s.withDefaults()
+	sum := d.A + d.B + d.C + d.D
+	if s.Kind == RMAT && (sum < 0.999 || sum > 1.001) {
+		return fmt.Errorf("gen: R-MAT probabilities sum to %v", sum)
+	}
+	return nil
+}
+
+// scale returns the number of R-MAT recursion levels: the smallest s with
+// 2^s >= NumVertices.
+func (s Spec) scale() uint {
+	lvl := uint(0)
+	for (uint64(1) << lvl) < uint64(s.NumVertices) {
+		lvl++
+	}
+	return lvl
+}
+
+// Generate produces edges [lo, hi) of the spec's edge list. Each rank of a
+// distributed run calls Generate with its chunk; the concatenation over
+// ranks is independent of the chunking.
+func (s Spec) Generate(lo, hi uint64) (edge.List, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if hi > s.NumEdges || lo > hi {
+		return nil, fmt.Errorf("gen: chunk [%d,%d) outside %d edges", lo, hi, s.NumEdges)
+	}
+	s = s.withDefaults()
+	out := edge.Make(int(hi - lo))
+	for i := lo; i < hi; i++ {
+		src, dst := s.edge(i)
+		out.Push(src, dst)
+	}
+	return out, nil
+}
+
+// GenerateAll produces the complete edge list.
+func (s Spec) GenerateAll() (edge.List, error) {
+	return s.Generate(0, s.NumEdges)
+}
+
+// edge derives edge i deterministically from (Seed, i).
+func (s Spec) edge(i uint64) (src, dst uint32) {
+	x := rng.NewXoshiro256(s.Seed, i)
+	n := uint64(s.NumVertices)
+	switch s.Kind {
+	case ER:
+		return uint32(x.Uint64n(n)), uint32(x.Uint64n(n))
+	default: // RMAT
+		lvl := s.scale()
+		for {
+			u, v := s.rmatOnce(x, lvl)
+			if uint64(u) < n && uint64(v) < n {
+				return u, v
+			}
+			// Rejection keeps the distribution over the valid corner
+			// unskewed when NumVertices is not a power of two.
+		}
+	}
+}
+
+// rmatOnce draws one R-MAT edge in the 2^lvl × 2^lvl matrix.
+func (s Spec) rmatOnce(x *rng.Xoshiro256, lvl uint) (src, dst uint32) {
+	var u, v uint32
+	for l := uint(0); l < lvl; l++ {
+		r := x.Float64()
+		switch {
+		case r < s.A:
+			// top-left: no bits set
+		case r < s.A+s.B:
+			v |= 1 << l
+		case r < s.A+s.B+s.C:
+			u |= 1 << l
+		default:
+			u |= 1 << l
+			v |= 1 << l
+		}
+	}
+	return u, v
+}
+
+// ChunkRange splits m edges into nranks contiguous chunks and returns the
+// half-open chunk for rank, balanced to within one edge.
+func ChunkRange(m uint64, rank, nranks int) (lo, hi uint64) {
+	q := m / uint64(nranks)
+	r := m % uint64(nranks)
+	lo = uint64(rank)*q + min(uint64(rank), r)
+	hi = lo + q
+	if uint64(rank) < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// WCLike returns a Spec resembling the paper's Web Crawl at a reduced
+// scale: an R-MAT graph with the crawl's average degree of 36 and heavy
+// degree skew. scaleN is the vertex count to use.
+func WCLike(scaleN uint32, seed uint64) Spec {
+	return Spec{Kind: RMAT, NumVertices: scaleN, NumEdges: uint64(scaleN) * 36, Seed: seed}
+}

@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gio"
+	"repro/internal/partition"
+)
+
+// EndToEnd reproduces the paper's headline claim ("using just 256 compute
+// nodes of Blue Waters, we are currently able to perform all six
+// implemented analytics in about 20 minutes, and this includes graph I/O
+// and preprocessing"): one run that reads the edge file, builds the
+// distributed graph, and executes all six analytics back to back,
+// reporting each stage and the total.
+func EndToEnd(cfg Config) (*Report, error) {
+	spec := cfg.wcSim()
+	path, cleanup, err := cfg.writeEdgeFile(spec)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	p := cfg.maxRanks()
+
+	type stage struct {
+		name string
+		d    time.Duration
+	}
+	var stages []stage
+	var mu sync.Mutex
+	record := func(name string, d time.Duration) {
+		mu.Lock()
+		stages = append(stages, stage{name, d})
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	rd, err := gio.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	tm, err := buildGraph(p, cfg.Threads, rd, spec.NumVertices, partition.VertexBlock, cfg.Seed,
+		func(ctx *core.Ctx, g *core.Graph) error {
+			return runAllAnalytics(ctx, g, record)
+		})
+	rd.Close()
+	if err != nil {
+		return nil, err
+	}
+	total := time.Since(start)
+
+	r := &Report{
+		ID: "End-to-end (§I headline)",
+		Title: fmt.Sprintf("I/O + construction + all six analytics on WC-sim (n=%s, m=%s), %d ranks",
+			engi(uint64(spec.NumVertices)), engi(spec.NumEdges), p),
+		Header: []string{"Stage", "Time (s)"},
+	}
+	r.Rows = append(r.Rows,
+		[]string{"Read (file I/O)", secs(tm.Read)},
+		[]string{"Edge exchanges", secs(tm.Exchange)},
+		[]string{"CSR conversion", secs(tm.Convert)},
+	)
+	for _, s := range stages {
+		r.Rows = append(r.Rows, []string{s.name, secs(s.d)})
+	}
+	r.Rows = append(r.Rows, []string{"TOTAL", secs(total)})
+	r.Notes = append(r.Notes,
+		"paper: ~20 minutes end-to-end on 256 nodes for the 3.56B-vertex crawl, I/O and preprocessing included",
+		"the reproduced property is completeness at bounded cost: one pipeline, one graph residency, all six analytics")
+	return r, nil
+}

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/partition"
+)
+
+// Fig1 reproduces Figure 1: weak scaling of Harmonic Centrality and
+// PageRank on R-MAT and Rand-ER graphs with a fixed number of vertices per
+// rank (the paper uses 2^22 per node at average degree 16; the default
+// scale uses 2^14 per rank). Per-series execution time is reported per rank
+// count, along with the per-rank communication volume that drives the
+// paper's observed flattening.
+func Fig1(cfg Config) (*Report, error) {
+	perRank := uint32(cfg.scaled(1<<14, 1<<8))
+	r := &Report{
+		ID:     "Figure 1",
+		Title:  fmt.Sprintf("Weak scaling, %s vertices per rank, d_avg=16, vertex-block partitioning", engi(uint64(perRank))),
+		Header: []string{"Graph", "Analytic", "Ranks", "n", "Time (s)", "SentMB/rank"},
+	}
+	kinds := []gen.Kind{gen.RMAT, gen.ER}
+	for _, kind := range kinds {
+		for _, p := range cfg.Ranks {
+			n := perRank * uint32(p)
+			spec := gen.Spec{Kind: kind, NumVertices: n, NumEdges: uint64(n) * 16, Seed: cfg.Seed ^ uint64(kind)}
+			var hcTime, prTime time.Duration
+			var sentHC, sentPR uint64
+			var mu sync.Mutex
+			err := cfg.buildForAnalytics(p, core.SpecSource{Spec: spec}, n, partition.VertexBlock,
+				func(ctx *core.Ctx, g *core.Graph) error {
+					// Harmonic centrality of the top-degree vertex.
+					tops, err := analytics.TopDegree(ctx, g, 1)
+					if err != nil {
+						return err
+					}
+					ctx.Comm.ResetStats()
+					d, err := timeAnalytic(ctx, func() error {
+						_, err := analytics.Harmonic(ctx, g, tops[0])
+						return err
+					})
+					if err != nil {
+						return err
+					}
+					sHC := ctx.Comm.TakeStats()
+					ctx.Comm.ResetStats()
+					d2, err := timeAnalytic(ctx, func() error {
+						_, err := analytics.PageRank(ctx, g, analytics.DefaultPageRank())
+						return err
+					})
+					if err != nil {
+						return err
+					}
+					sPR := ctx.Comm.TakeStats()
+					if ctx.Rank() == 0 {
+						mu.Lock()
+						hcTime, prTime = d, d2
+						sentHC, sentPR = sHC.BytesSent, sPR.BytesSent
+						mu.Unlock()
+					}
+					return nil
+				})
+			if err != nil {
+				return nil, err
+			}
+			r.Rows = append(r.Rows, []string{
+				spec.Kind.String(), "HarmonicCentrality", fmt.Sprintf("%d", p), engi(uint64(n)),
+				secs(hcTime), fmt.Sprintf("%.2f", float64(sentHC)/1e6),
+			})
+			r.Rows = append(r.Rows, []string{
+				spec.Kind.String(), "PageRank", fmt.Sprintf("%d", p), engi(uint64(n)),
+				secs(prTime), fmt.Sprintf("%.2f", float64(sentPR)/1e6),
+			})
+		}
+	}
+	r.Notes = append(r.Notes,
+		"paper shape: HC scales near-flat on Rand-ER until collectives dominate; R-MAT scales worse (high-degree imbalance); PageRank moderate on both",
+		"per-rank send volume growing with rank count is the communication pressure behind the paper's flattening at 256 nodes")
+	return r, nil
+}

@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/baseline"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/partition"
+)
+
+// Fig4 reproduces Figure 4: PageRank and WCC execution time on the five
+// comparison graphs, our implementation at 1 rank (SRM-1) and at the full
+// rank count (SRM-P) against the framework-style vertex-centric baseline
+// (the GraphX/PowerGraph/PowerLyra stand-in, "VC-P") and the semi-external
+// engine in standalone (FG-SA) and external (FG) modes. Random
+// partitioning for our runs, matching the paper's Compton setup.
+func Fig4(cfg Config) (*Report, error) {
+	p := cfg.maxRanks()
+	r := &Report{
+		ID:     "Figure 4",
+		Title:  fmt.Sprintf("Framework comparison (PageRank 10 iters / WCC to completion), %d ranks", p),
+		Header: []string{"Graph", "Analytic", "SRM-1 (s)", fmt.Sprintf("SRM-%d (s)", p), fmt.Sprintf("VC-%d (s)", p), "FG-SA (s)", "FG (s)"},
+	}
+	var prSpeedups, wccSpeedups []float64
+	for _, si := range cfg.standIns() {
+		src := core.SpecSource{Spec: si.spec}
+		n := si.spec.NumVertices
+
+		// Our implementation at 1 rank and p ranks.
+		var ours1PR, oursPPR, ours1WCC, oursPWCC time.Duration
+		for _, ranks := range []int{1, p} {
+			var prT, wccT time.Duration
+			var mu sync.Mutex
+			err := cfg.buildForAnalytics(ranks, src, n, partition.Random,
+				func(ctx *core.Ctx, g *core.Graph) error {
+					d, err := timeAnalytic(ctx, func() error {
+						_, err := analytics.PageRank(ctx, g, analytics.DefaultPageRank())
+						return err
+					})
+					if err != nil {
+						return err
+					}
+					d2, err := timeAnalytic(ctx, func() error {
+						_, err := analytics.WCC(ctx, g)
+						return err
+					})
+					if err != nil {
+						return err
+					}
+					if ctx.Rank() == 0 {
+						mu.Lock()
+						prT, wccT = d, d2
+						mu.Unlock()
+					}
+					return nil
+				})
+			if err != nil {
+				return nil, fmt.Errorf("%s SRM-%d: %w", si.name, ranks, err)
+			}
+			if ranks == 1 {
+				ours1PR, ours1WCC = prT, wccT
+			} else {
+				oursPPR, oursPWCC = prT, wccT
+			}
+		}
+
+		// Vertex-centric framework baseline at p ranks.
+		var vcPR, vcWCC time.Duration
+		{
+			var mu sync.Mutex
+			err := comm.RunLocal(p, func(c *comm.Comm) error {
+				ctx := core.NewCtx(c, cfg.Threads)
+				start := time.Now()
+				if _, err := baseline.PageRank(ctx, src, n, 10, 0.85); err != nil {
+					return err
+				}
+				d := time.Since(start)
+				start = time.Now()
+				if _, err := baseline.WCCHashMin(ctx, src, n); err != nil {
+					return err
+				}
+				d2 := time.Since(start)
+				if c.Rank() == 0 {
+					mu.Lock()
+					vcPR, vcWCC = d, d2
+					mu.Unlock()
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s baseline: %w", si.name, err)
+			}
+		}
+
+		// Semi-external engine, standalone and external modes.
+		path, cleanup, err := cfg.writeEdgeFile(si.spec)
+		if err != nil {
+			return nil, err
+		}
+		var fgsaPR, fgsaWCC, fgPR, fgWCC time.Duration
+		for _, inMemory := range []bool{true, false} {
+			e, err := baseline.NewExternalEngine(path, n, inMemory)
+			if err != nil {
+				cleanup()
+				return nil, err
+			}
+			start := time.Now()
+			if _, err := e.PageRank(10, 0.85); err != nil {
+				cleanup()
+				return nil, err
+			}
+			dPR := time.Since(start)
+			start = time.Now()
+			if _, err := e.WCC(); err != nil {
+				cleanup()
+				return nil, err
+			}
+			dWCC := time.Since(start)
+			if inMemory {
+				fgsaPR, fgsaWCC = dPR, dWCC
+			} else {
+				fgPR, fgWCC = dPR, dWCC
+			}
+		}
+		cleanup()
+
+		r.Rows = append(r.Rows, []string{si.name, "PageRank",
+			secs(ours1PR), secs(oursPPR), secs(vcPR), secs(fgsaPR), secs(fgPR)})
+		r.Rows = append(r.Rows, []string{si.name, "WCC",
+			secs(ours1WCC), secs(oursPWCC), secs(vcWCC), secs(fgsaWCC), secs(fgWCC)})
+		prSpeedups = append(prSpeedups, vcPR.Seconds()/oursPPR.Seconds())
+		wccSpeedups = append(wccSpeedups, vcWCC.Seconds()/oursPWCC.Seconds())
+	}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("geometric-mean speedup of SRM-%d over the vertex-centric baseline: PageRank %.1fx, WCC %.1fx (paper: 38x and 201x over GraphX/PowerGraph/PowerLyra)",
+			p, geomean(prSpeedups), geomean(wccSpeedups)),
+		"paper shape: tuned flat-array SPMD beats the vertex-centric abstraction by >=1 order of magnitude; the WCC gap exceeds the PageRank gap (Multistep vs single-stage); external mode trails standalone")
+	return r, nil
+}
+
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}

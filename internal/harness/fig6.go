@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/analytics"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/partition"
+)
+
+// Fig6 reproduces Figure 6: the cumulative distribution of vertex coreness
+// upper bounds from the approximate k-core analytic on the Web Crawl
+// stand-in.
+func Fig6(cfg Config) (*Report, error) {
+	spec := cfg.wcSim()
+	p := cfg.maxRanks()
+	levels := KCoreLevels
+	counts := make(map[uint32]uint64)
+	var total uint64
+	var mu sync.Mutex
+	err := cfg.buildForAnalytics(p, core.SpecSource{Spec: spec}, spec.NumVertices, partition.VertexBlock,
+		func(ctx *core.Ctx, g *core.Graph) error {
+			res, err := analytics.KCoreApprox(ctx, g, levels)
+			if err != nil {
+				return err
+			}
+			local := make(map[uint32]uint64)
+			for _, ub := range res.CorenessUB {
+				local[ub]++
+			}
+			// Small domain (<= levels+1 distinct bounds): gather flat pairs.
+			flat := make([]uint64, 0, 2*len(local))
+			for ub, c := range local {
+				flat = append(flat, uint64(ub), c)
+			}
+			all, _, err := comm.Allgatherv(ctx.Comm, flat)
+			if err != nil {
+				return err
+			}
+			if ctx.Rank() == 0 {
+				mu.Lock()
+				for i := 0; i+1 < len(all); i += 2 {
+					counts[uint32(all[i])] += all[i+1]
+					total += all[i+1]
+				}
+				mu.Unlock()
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	ubs := make([]uint32, 0, len(counts))
+	for ub := range counts {
+		ubs = append(ubs, ub)
+	}
+	sort.Slice(ubs, func(i, j int) bool { return ubs[i] < ubs[j] })
+
+	r := &Report{
+		ID:     "Figure 6",
+		Title:  fmt.Sprintf("Vertex coreness upper-bound distribution on WC-sim (%d levels)", levels),
+		Header: []string{"Coreness UB <=", "Vertices", "Cumulative fraction"},
+	}
+	var cum uint64
+	var below32 float64
+	for _, ub := range ubs {
+		cum += counts[ub]
+		frac := float64(cum) / float64(total)
+		if ub <= 32 {
+			below32 = frac
+		}
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%d", ub), engi(counts[ub]), fmt.Sprintf("%.4f", frac),
+		})
+	}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("fraction of vertices with coreness bound <= 32: %.1f%% (paper: at least 75%%)", below32*100),
+		"paper shape: the overwhelming mass sits at small coreness; a tiny dense core survives the largest thresholds (0.5% of the crawl beyond degree 2^13.5)")
+	return r, nil
+}

@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+// tinyConfig shrinks every experiment to seconds for CI.
+func tinyConfig() Config {
+	return Config{
+		Scale:   0.02, // WC-sim ~1310 vertices (min 1024 applies)
+		Ranks:   []int{1, 2},
+		Threads: 1,
+		Seed:    7,
+	}
+}
+
+func TestAllExperimentsRunAndRender(t *testing.T) {
+	cfg := tinyConfig()
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.Key, func(t *testing.T) {
+			rep, err := e.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.ID == "" || rep.Title == "" {
+				t.Fatalf("report missing identity: %+v", rep)
+			}
+			if len(rep.Rows) == 0 {
+				t.Fatal("report has no rows")
+			}
+			for _, row := range rep.Rows {
+				if len(row) != len(rep.Header) {
+					t.Fatalf("row width %d != header width %d: %v", len(row), len(rep.Header), row)
+				}
+			}
+			var buf bytes.Buffer
+			if err := rep.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, rep.ID) {
+				t.Fatalf("render missing ID:\n%s", out)
+			}
+			for _, h := range rep.Header {
+				if !strings.Contains(out, strings.TrimSpace(h)) {
+					t.Fatalf("render missing header %q:\n%s", h, out)
+				}
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("table4"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("table2"); err == nil {
+		t.Fatal("nonexistent table accepted")
+	}
+}
+
+func TestRunAllRendersEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(tinyConfig(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table I", "Table III", "Table IV", "Table V",
+		"Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6", "Prior work"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("RunAll output missing %q", want)
+		}
+	}
+}
+
+func TestFig3RawBreakdownSane(t *testing.T) {
+	cfg := tinyConfig()
+	stats, err := Fig3Raw(cfg, 2, partition.VertexBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("got %d stats", len(stats))
+	}
+	for r, s := range stats {
+		if s.Total() <= 0 {
+			t.Fatalf("rank %d: empty breakdown %+v", r, s)
+		}
+		if s.Exchanges == 0 {
+			t.Fatalf("rank %d: no exchanges recorded", r)
+		}
+		if s.BytesSent == 0 {
+			t.Fatalf("rank %d: no traffic recorded on 2 ranks", r)
+		}
+	}
+}
+
+func TestConfigScaled(t *testing.T) {
+	cfg := Config{Scale: 0.5}
+	if got := cfg.scaled(1000, 1); got != 500 {
+		t.Fatalf("scaled = %d", got)
+	}
+	if got := cfg.scaled(10, 100); got != 100 {
+		t.Fatalf("scaled min = %d", got)
+	}
+}
+
+func TestEngiFormatting(t *testing.T) {
+	cases := map[uint64]string{
+		5:             "5",
+		1500:          "1.5K",
+		2_500_000:     "2.50M",
+		3_560_000_000: "3.56B",
+	}
+	for v, want := range cases {
+		if got := engi(v); got != want {
+			t.Fatalf("engi(%d) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{4, 16}); g < 7.9 || g > 8.1 {
+		t.Fatalf("geomean = %v", g)
+	}
+	if geomean(nil) != 0 {
+		t.Fatal("empty geomean not 0")
+	}
+}

@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/partition"
+)
+
+// PriorWork reproduces the further-comparisons paragraph of §V: the Trinity
+// R-MAT experiment (SCALE 28, average degree 13: PageRank per-iteration and
+// total BFS time on 8 nodes) re-run at reduced scale, with the
+// paper-reported numbers listed for context.
+func PriorWork(cfg Config) (*Report, error) {
+	// SCALE 28 is 2^28 vertices; default configuration scales to 2^17.
+	n := uint32(cfg.scaled(1<<17, 1<<10))
+	spec := gen.Spec{Kind: gen.RMAT, NumVertices: n, NumEdges: uint64(n) * 13, Seed: cfg.Seed ^ 0x7777}
+	p := cfg.maxRanks()
+	if p > 8 {
+		p = 8 // the comparison is an 8-node experiment
+	}
+	var prPerIter, bfsTotal time.Duration
+	var mu sync.Mutex
+	err := cfg.buildForAnalytics(p, core.SpecSource{Spec: spec}, n, partition.VertexBlock,
+		func(ctx *core.Ctx, g *core.Graph) error {
+			d, err := timeAnalytic(ctx, func() error {
+				_, err := analytics.PageRank(ctx, g, analytics.DefaultPageRank())
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			tops, err := analytics.TopDegree(ctx, g, 1)
+			if err != nil {
+				return err
+			}
+			d2, err := timeAnalytic(ctx, func() error {
+				_, err := analytics.BFS(ctx, g, tops[0], analytics.Forward)
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			if ctx.Rank() == 0 {
+				mu.Lock()
+				prPerIter = d / 10
+				bfsTotal = d2
+				mu.Unlock()
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		ID:    "Prior work (§V)",
+		Title: fmt.Sprintf("Trinity comparison workload: R-MAT n=%s, d_avg=13, %d ranks", engi(uint64(n)), p),
+		Header: []string{
+			"System", "Scale", "PageRank (s/iter)", "BFS total (s)",
+		},
+		Rows: [][]string{
+			{"Trinity (paper-reported, 8 nodes)", "2^28", "15", "200"},
+			{"Paper's code (Compton, 8 nodes)", "2^28", "1.5", "32"},
+			{"This library", fmt.Sprintf("n=%s", engi(uint64(n))), secs(prPerIter), secs(bfsTotal)},
+		},
+		Notes: []string{
+			"absolute values are not comparable across scales and machines; the reproduced claim is the order-of-magnitude gap between tuned SPMD code and the framework",
+			"paper also reports Giraph at Facebook: 9.5 min/iter Label Propagation and 5 min/iter PageRank on comparable-size graphs vs. its own 40 s and 4.4 s",
+		},
+	}
+	return r, nil
+}

@@ -1,0 +1,129 @@
+package par
+
+import "sync/atomic"
+
+// This file implements the paper's Algorithm 3: per-thread staging queues
+// that drain into per-destination regions of shared send buffers with one
+// atomic fetch-and-add per destination per flush, instead of one atomic per
+// item. The shape is:
+//
+//	shared := par.NewShared(offsets, write)   // one per send phase
+//	pool.Run(func(tid int) {
+//	    buf := shared.Buf(qsize)
+//	    for ... { buf.Push(dest, item) }
+//	    buf.Flush()
+//	})
+//
+// where write(dest, base, items) scatters a flushed run of items into the
+// global queue arrays starting at element index base. The caller guarantees
+// (by sizing offsets from a prior counting pass, as the paper does) that
+// reserved regions never overflow into the next destination's region.
+
+// cacheLinePad separates hot atomics so concurrent flushes to different
+// destinations do not false-share.
+type paddedCursor struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Shared is the shared side of a set of per-destination send queues: an
+// atomic write cursor per destination rank plus the caller's scatter
+// function. Construct one per communication phase with NewShared, then give
+// each worker thread its own Buf.
+type Shared[V any] struct {
+	cursors []paddedCursor
+	limits  []uint64
+	write   func(dest int, base uint64, items []V)
+}
+
+// NewShared creates the shared queue state. offsets must have one entry per
+// destination plus a final total (the CSR-style layout produced by
+// ExclusivePrefixSum); destination d's region is [offsets[d], offsets[d+1]).
+// write is called under no lock — regions reserved by different flushes are
+// disjoint, so scattering is race-free.
+func NewShared[V any](offsets []uint64, write func(dest int, base uint64, items []V)) *Shared[V] {
+	nd := len(offsets) - 1
+	s := &Shared[V]{
+		cursors: make([]paddedCursor, nd),
+		limits:  make([]uint64, nd),
+		write:   write,
+	}
+	for d := 0; d < nd; d++ {
+		s.cursors[d].v.Store(offsets[d])
+		s.limits[d] = offsets[d+1]
+	}
+	return s
+}
+
+// Destinations returns the number of destination ranks.
+func (s *Shared[V]) Destinations() int { return len(s.cursors) }
+
+// Reserve atomically claims n consecutive slots in destination d's region
+// and returns the base element index. It panics if the region overflows,
+// which indicates the counting pass and the fill pass disagree — a logic
+// error, not a runtime condition.
+func (s *Shared[V]) Reserve(d, n int) uint64 {
+	base := s.cursors[d].v.Add(uint64(n)) - uint64(n)
+	if base+uint64(n) > s.limits[d] {
+		panic("par: send queue region overflow (count pass and fill pass disagree)")
+	}
+	return base
+}
+
+// PushDirect writes a single item with one atomic reservation. It is the
+// unbuffered alternative that Algorithm 3 exists to avoid; it is kept for
+// the ablation benchmark comparing the two.
+func (s *Shared[V]) PushDirect(d int, item V) {
+	base := s.Reserve(d, 1)
+	s.write(d, base, []V{item})
+}
+
+// Buf returns a new per-thread staging buffer holding up to qsize items per
+// destination before flushing. qsize tunes the cache-residency/atomic-rate
+// trade-off (the paper's QSIZE).
+func (s *Shared[V]) Buf(qsize int) *Buf[V] {
+	if qsize <= 0 {
+		qsize = 256
+	}
+	b := &Buf[V]{shared: s, qsize: qsize, stage: make([][]V, len(s.cursors))}
+	return b
+}
+
+// Buf is one thread's staging buffer. Not safe for concurrent use; create
+// one per worker.
+type Buf[V any] struct {
+	shared *Shared[V]
+	qsize  int
+	stage  [][]V
+}
+
+// Push stages one item for destination d, flushing that destination's run
+// if the stage is full.
+func (b *Buf[V]) Push(d int, item V) {
+	st := b.stage[d]
+	if st == nil {
+		st = make([]V, 0, b.qsize)
+	}
+	st = append(st, item)
+	if len(st) == b.qsize {
+		b.flushDest(d, st)
+		st = st[:0]
+	}
+	b.stage[d] = st
+}
+
+// Flush drains every destination's staged items. Call once per thread after
+// its loop completes (Algorithm 3's final drain).
+func (b *Buf[V]) Flush() {
+	for d, st := range b.stage {
+		if len(st) > 0 {
+			b.flushDest(d, st)
+			b.stage[d] = st[:0]
+		}
+	}
+}
+
+func (b *Buf[V]) flushDest(d int, items []V) {
+	base := b.shared.Reserve(d, len(items))
+	b.shared.write(d, base, items)
+}

@@ -1,0 +1,85 @@
+package partition
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Encode serializes a partitioner so that graph shards saved to disk can
+// be reloaded with their ownership function intact (see core.SaveShard).
+// Block strategies store their boundaries, random its seed, explicit its
+// owner array.
+func Encode(p Partitioner) ([]byte, error) {
+	var b []byte
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.Kind()))
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.NumRanks()))
+	b = binary.LittleEndian.AppendUint32(b, p.NumVertices())
+	switch pt := p.(type) {
+	case *Block:
+		for _, v := range pt.Bounds() {
+			b = binary.LittleEndian.AppendUint32(b, v)
+		}
+	case *Rand:
+		b = binary.LittleEndian.AppendUint64(b, pt.Seed())
+	case *Explicit:
+		for _, o := range pt.Owners() {
+			b = binary.LittleEndian.AppendUint32(b, uint32(o))
+		}
+	default:
+		return nil, fmt.Errorf("partition: cannot encode %T", p)
+	}
+	return b, nil
+}
+
+// Decode reverses Encode.
+func Decode(b []byte) (Partitioner, error) {
+	if len(b) < 12 {
+		return nil, fmt.Errorf("partition: truncated encoding")
+	}
+	kind := Kind(binary.LittleEndian.Uint32(b))
+	p := int(binary.LittleEndian.Uint32(b[4:]))
+	n := binary.LittleEndian.Uint32(b[8:])
+	body := b[12:]
+	if p <= 0 {
+		return nil, fmt.Errorf("partition: decoded %d ranks", p)
+	}
+	switch kind {
+	case VertexBlock, EdgeBlock:
+		want := (p + 1) * 4
+		if len(body) != want {
+			return nil, fmt.Errorf("partition: block encoding has %d body bytes, want %d", len(body), want)
+		}
+		bounds := make([]uint32, p+1)
+		for i := range bounds {
+			bounds[i] = binary.LittleEndian.Uint32(body[4*i:])
+		}
+		blk, err := NewEdgeBlockFromBounds(bounds)
+		if err != nil {
+			return nil, err
+		}
+		blk.kind = kind
+		if blk.NumVertices() != n {
+			return nil, fmt.Errorf("partition: bounds end at %d, header says %d", blk.NumVertices(), n)
+		}
+		return blk, nil
+	case Random:
+		if len(body) != 8 {
+			return nil, fmt.Errorf("partition: random encoding has %d body bytes", len(body))
+		}
+		return NewRandom(n, p, binary.LittleEndian.Uint64(body)), nil
+	case PuLPKind:
+		if len(body) != int(n)*4 {
+			return nil, fmt.Errorf("partition: explicit encoding has %d body bytes, want %d", len(body), n*4)
+		}
+		owners := make([]int32, n)
+		for i := range owners {
+			owners[i] = int32(binary.LittleEndian.Uint32(body[4*i:]))
+		}
+		return NewExplicit(owners, p)
+	default:
+		return nil, fmt.Errorf("partition: unknown encoded kind %d", kind)
+	}
+}
+
+// Seed exposes the random partitioner's seed for serialization.
+func (r *Rand) Seed() uint64 { return r.seed }

@@ -1,0 +1,255 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+)
+
+// checkPartitioner validates the invariants every strategy must satisfy:
+// each vertex has exactly one owner, Owned lists are consistent with Owner,
+// sorted ascending, and counts match.
+func checkPartitioner(t *testing.T, pt Partitioner) {
+	t.Helper()
+	n := pt.NumVertices()
+	p := pt.NumRanks()
+	ownerSeen := make([]int, n)
+	for v := uint32(0); v < n; v++ {
+		o := pt.Owner(v)
+		if o < 0 || o >= p {
+			t.Fatalf("%v: Owner(%d) = %d out of range", pt.Kind(), v, o)
+		}
+		ownerSeen[v] = o
+	}
+	var total uint32
+	for r := 0; r < p; r++ {
+		owned := pt.Owned(r)
+		if uint32(len(owned)) != pt.OwnedCount(r) {
+			t.Fatalf("%v: rank %d OwnedCount=%d but len(Owned)=%d",
+				pt.Kind(), r, pt.OwnedCount(r), len(owned))
+		}
+		for i, v := range owned {
+			if ownerSeen[v] != r {
+				t.Fatalf("%v: vertex %d in Owned(%d) but Owner says %d", pt.Kind(), v, r, ownerSeen[v])
+			}
+			if i > 0 && owned[i-1] >= v {
+				t.Fatalf("%v: Owned(%d) not ascending at %d", pt.Kind(), r, i)
+			}
+		}
+		total += uint32(len(owned))
+	}
+	if total != n {
+		t.Fatalf("%v: owned sets cover %d of %d vertices", pt.Kind(), total, n)
+	}
+}
+
+func TestVertexBlockInvariants(t *testing.T) {
+	for _, n := range []uint32{1, 7, 100, 1000} {
+		for _, p := range []int{1, 2, 3, 8, 16} {
+			if uint32(p) > n {
+				continue
+			}
+			checkPartitioner(t, NewVertexBlock(n, p))
+		}
+	}
+}
+
+func TestVertexBlockBalance(t *testing.T) {
+	b := NewVertexBlock(100, 8)
+	for r := 0; r < 8; r++ {
+		c := b.OwnedCount(r)
+		if c < 12 || c > 13 {
+			t.Fatalf("rank %d owns %d vertices", r, c)
+		}
+	}
+}
+
+func TestRandomInvariants(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 16} {
+		checkPartitioner(t, NewRandom(1000, p, 77))
+	}
+}
+
+func TestRandomRoughBalance(t *testing.T) {
+	r := NewRandom(100000, 8, 1)
+	for rank := 0; rank < 8; rank++ {
+		c := float64(r.OwnedCount(rank))
+		if c < 11500 || c > 13500 { // 12500 ± ~8%
+			t.Fatalf("rank %d owns %v vertices", rank, c)
+		}
+	}
+}
+
+func TestRandomSeedsDiffer(t *testing.T) {
+	a := NewRandom(1000, 4, 1)
+	b := NewRandom(1000, 4, 2)
+	diff := 0
+	for v := uint32(0); v < 1000; v++ {
+		if a.Owner(v) != b.Owner(v) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds gave identical assignment")
+	}
+}
+
+func TestEdgeBlockBoundsBalanceMass(t *testing.T) {
+	// Skewed degrees: vertex 0 carries half the mass.
+	degrees := make([]uint64, 100)
+	for i := range degrees {
+		degrees[i] = 1
+	}
+	degrees[0] = 100
+	bounds := EdgeBlockBounds(degrees, 4)
+	pt, err := NewEdgeBlockFromBounds(bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartitioner(t, pt)
+	// Rank 0's range should be tiny (vertex 0 alone carries ~target mass);
+	// later ranks get wide ranges of light vertices.
+	if pt.OwnedCount(0) >= pt.OwnedCount(3) {
+		t.Fatalf("edge block did not shrink the heavy range: counts %d vs %d",
+			pt.OwnedCount(0), pt.OwnedCount(3))
+	}
+	// Mass per rank within 2x of ideal.
+	total := uint64(0)
+	for _, d := range degrees {
+		total += d
+	}
+	ideal := float64(total) / 4
+	for r := 0; r < 4; r++ {
+		var mass uint64
+		for _, v := range pt.Owned(r) {
+			mass += degrees[v]
+		}
+		if float64(mass) > 2.2*ideal {
+			t.Fatalf("rank %d mass %d vs ideal %v", r, mass, ideal)
+		}
+	}
+}
+
+func TestEdgeBlockDegenerate(t *testing.T) {
+	// All mass on the last vertex: earlier bounds collapse but remain valid.
+	degrees := make([]uint64, 10)
+	degrees[9] = 100
+	bounds := EdgeBlockBounds(degrees, 3)
+	pt, err := NewEdgeBlockFromBounds(bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartitioner(t, pt)
+	// Zero-degree graph.
+	zero := EdgeBlockBounds(make([]uint64, 10), 3)
+	if _, err := NewEdgeBlockFromBounds(zero); err != nil {
+		t.Fatalf("zero-mass bounds rejected: %v", err)
+	}
+}
+
+func TestNewEdgeBlockFromBoundsValidation(t *testing.T) {
+	if _, err := NewEdgeBlockFromBounds([]uint32{1, 5}); err == nil {
+		t.Fatal("bounds not starting at 0 accepted")
+	}
+	if _, err := NewEdgeBlockFromBounds([]uint32{0, 5, 3}); err == nil {
+		t.Fatal("decreasing bounds accepted")
+	}
+	if _, err := NewEdgeBlockFromBounds([]uint32{0}); err == nil {
+		t.Fatal("too-short bounds accepted")
+	}
+}
+
+func TestNewFactory(t *testing.T) {
+	if _, err := New(VertexBlock, 10, 2, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Random, 10, 2, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(EdgeBlock, 10, 2, 0, nil); err == nil {
+		t.Fatal("edge block without degrees accepted")
+	}
+	if _, err := New(EdgeBlock, 10, 2, 0, make([]uint64, 5)); err == nil {
+		t.Fatal("wrong-length degrees accepted")
+	}
+	if _, err := New(EdgeBlock, 5, 2, 0, make([]uint64, 5)); err != nil {
+		t.Fatal("valid edge block rejected")
+	}
+	if _, err := New(VertexBlock, 10, 0, 0, nil); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	cases := map[string]Kind{
+		"np": VertexBlock, "vertex": VertexBlock, "vertex-block": VertexBlock,
+		"mp": EdgeBlock, "edge": EdgeBlock, "edge-block": EdgeBlock,
+		"rand": Random, "random": Random,
+	}
+	for s, want := range cases {
+		got, err := ParseKind(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseKind(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseKind("metis"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{VertexBlock, EdgeBlock, Random, Kind(42)} {
+		if k.String() == "" {
+			t.Fatalf("empty string for %d", int(k))
+		}
+	}
+}
+
+func TestMeasureRandomBeatsBlockOnBalance(t *testing.T) {
+	// On a skewed R-MAT graph, random partitioning should have lower edge
+	// imbalance than vertex-block — the paper's §III-B observation.
+	spec := gen.Spec{Kind: gen.RMAT, NumVertices: 1 << 12, NumEdges: 1 << 16, Seed: 9}
+	edges, err := spec.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 8
+	sBlock := Measure(NewVertexBlock(spec.NumVertices, p), edges)
+	sRand := Measure(NewRandom(spec.NumVertices, p, 5), edges)
+	if sRand.MaxEdgeImbalance >= sBlock.MaxEdgeImbalance {
+		t.Fatalf("random imbalance %v not below block %v",
+			sRand.MaxEdgeImbalance, sBlock.MaxEdgeImbalance)
+	}
+	// And random should have a (near-)worst-case cut approaching 1-1/p.
+	if sRand.CutFraction < 0.7 {
+		t.Fatalf("random cut fraction suspiciously low: %v", sRand.CutFraction)
+	}
+	for _, s := range []Stats{sBlock, sRand} {
+		if s.MaxVertexImbalance < 1 || s.MaxEdgeImbalance < 1 {
+			t.Fatalf("imbalance below 1: %+v", s)
+		}
+		if s.CutFraction < 0 || s.CutFraction > 1 {
+			t.Fatalf("cut fraction out of range: %+v", s)
+		}
+	}
+}
+
+func TestMeasureEmptyEdges(t *testing.T) {
+	s := Measure(NewVertexBlock(10, 2), nil)
+	if s.CutFraction != 0 || s.MaxEdgeImbalance != 0 {
+		t.Fatalf("empty measure: %+v", s)
+	}
+}
+
+func TestOwnerBoundsQuick(t *testing.T) {
+	pt := NewVertexBlock(100000, 13)
+	f := func(v uint32) bool {
+		v %= 100000
+		o := pt.Owner(v)
+		return pt.Bounds()[o] <= v && v < pt.Bounds()[o+1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

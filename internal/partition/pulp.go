@@ -1,0 +1,202 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/edge"
+	"repro/internal/rng"
+)
+
+// This file implements the partitioning-quality direction the paper's
+// conclusion names as future work ("better partitioning strategies to
+// improve load balance and overall scalability") — a simplified version of
+// the authors' own follow-up, PuLP (citation [30]): label-propagation-based
+// partitioning under vertex- and edge-balance constraints. Like the real
+// PuLP it is a single-node tool: one rank computes the assignment, then
+// broadcasts it (see core.MakePartitioner).
+
+// Explicit is a partitioner backed by an explicit per-vertex owner array,
+// the output of PuLP-style refinement (and usable for any precomputed
+// assignment).
+type Explicit struct {
+	owners []int32
+	p      int
+	counts []uint32
+}
+
+// NewExplicit wraps an owner array (len n, entries in [0, p)).
+func NewExplicit(owners []int32, p int) (*Explicit, error) {
+	e := &Explicit{owners: owners, p: p, counts: make([]uint32, p)}
+	for v, o := range owners {
+		if o < 0 || int(o) >= p {
+			return nil, fmt.Errorf("partition: vertex %d owner %d out of range", v, o)
+		}
+		e.counts[o]++
+	}
+	return e, nil
+}
+
+// Kind implements Partitioner.
+func (e *Explicit) Kind() Kind { return PuLPKind }
+
+// NumRanks implements Partitioner.
+func (e *Explicit) NumRanks() int { return e.p }
+
+// NumVertices implements Partitioner.
+func (e *Explicit) NumVertices() uint32 { return uint32(len(e.owners)) }
+
+// Owner implements Partitioner.
+func (e *Explicit) Owner(v uint32) int { return int(e.owners[v]) }
+
+// Owners exposes the raw assignment for broadcasting.
+func (e *Explicit) Owners() []int32 { return e.owners }
+
+// Owned implements Partitioner.
+func (e *Explicit) Owned(r int) []uint32 {
+	out := make([]uint32, 0, e.counts[r])
+	for v, o := range e.owners {
+		if int(o) == r {
+			out = append(out, uint32(v))
+		}
+	}
+	return out
+}
+
+// OwnedCount implements Partitioner.
+func (e *Explicit) OwnedCount(r int) uint32 { return e.counts[r] }
+
+// PuLPKind identifies label-propagation-based partitioning.
+const PuLPKind Kind = 3
+
+// PuLPOptions tunes the refinement.
+type PuLPOptions struct {
+	// Iterations is the number of refinement sweeps.
+	Iterations int
+	// Slack is the allowed imbalance epsilon for both constraints
+	// (maximum part size is (1+Slack) × ideal).
+	Slack float64
+	// Seed randomizes the sweep order.
+	Seed uint64
+}
+
+// DefaultPuLP returns the standard configuration: 3 sweeps, 10% slack.
+func DefaultPuLP() PuLPOptions {
+	return PuLPOptions{Iterations: 3, Slack: 0.10, Seed: 1}
+}
+
+// PuLP computes a p-way assignment of the n-vertex graph given by edges,
+// starting from vertex-block and refining with constrained label
+// propagation: each sweep moves vertices to the part holding the plurality
+// of their neighbors, subject to vertex-count and edge-mass balance caps.
+// The result keeps both balance constraints while cutting far fewer edges
+// than random partitioning.
+func PuLP(n uint32, edges edge.List, p int, opts PuLPOptions) (*Explicit, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("partition: %d ranks", p)
+	}
+	if opts.Iterations <= 0 {
+		opts.Iterations = 3
+	}
+	if opts.Slack <= 0 {
+		opts.Slack = 0.10
+	}
+	// Undirected adjacency CSR (single-node scratch, like the real PuLP).
+	deg := make([]uint32, n)
+	for i := 0; i < edges.Len(); i++ {
+		u, v := edges.Src(i), edges.Dst(i)
+		if u >= n || v >= n {
+			return nil, fmt.Errorf("partition: endpoint beyond %d vertices", n)
+		}
+		deg[u]++
+		deg[v]++
+	}
+	idx := make([]uint64, n+1)
+	for v := uint32(0); v < n; v++ {
+		idx[v+1] = idx[v] + uint64(deg[v])
+	}
+	adj := make([]uint32, idx[n])
+	cur := append([]uint64(nil), idx[:n]...)
+	for i := 0; i < edges.Len(); i++ {
+		u, v := edges.Src(i), edges.Dst(i)
+		adj[cur[u]] = v
+		cur[u]++
+		adj[cur[v]] = u
+		cur[v]++
+	}
+
+	// Initial assignment: vertex block.
+	owners := make([]int32, n)
+	block := NewVertexBlock(n, p)
+	for v := uint32(0); v < n; v++ {
+		owners[v] = int32(block.Owner(v))
+	}
+	partVerts := make([]int64, p)
+	partMass := make([]int64, p) // degree mass per part (edge-balance proxy)
+	for v := uint32(0); v < n; v++ {
+		partVerts[owners[v]]++
+		partMass[owners[v]] += int64(deg[v])
+	}
+	var totalMass int64
+	for _, m := range partMass {
+		totalMass += m
+	}
+	maxVerts := int64(float64(n) / float64(p) * (1 + opts.Slack))
+	if maxVerts < 1 {
+		maxVerts = 1
+	}
+	maxMass := int64(float64(totalMass) / float64(p) * (1 + opts.Slack))
+
+	// Refinement sweeps in seeded random order.
+	order := make([]uint32, n)
+	x := rng.NewXoshiro256(opts.Seed, 0)
+	x.Perm(order)
+	score := make([]int64, p)
+	touched := make([]int32, 0, 16)
+	for it := 0; it < opts.Iterations; it++ {
+		moves := 0
+		for _, v := range order {
+			nbrs := adj[idx[v]:idx[v+1]]
+			if len(nbrs) == 0 {
+				continue
+			}
+			for _, u := range nbrs {
+				t := owners[u]
+				if score[t] == 0 {
+					touched = append(touched, t)
+				}
+				score[t]++
+			}
+			curPart := owners[v]
+			best := curPart
+			bestScore := score[curPart]
+			for _, t := range touched {
+				if t == curPart || score[t] <= bestScore {
+					continue
+				}
+				if partVerts[t]+1 > maxVerts {
+					continue
+				}
+				if maxMass > 0 && partMass[t]+int64(deg[v]) > maxMass {
+					continue
+				}
+				best, bestScore = t, score[t]
+			}
+			for _, t := range touched {
+				score[t] = 0
+			}
+			touched = touched[:0]
+			if best != curPart {
+				partVerts[curPart]--
+				partVerts[best]++
+				partMass[curPart] -= int64(deg[v])
+				partMass[best] += int64(deg[v])
+				owners[v] = best
+				moves++
+			}
+		}
+		if moves == 0 {
+			break
+		}
+	}
+	return NewExplicit(owners, p)
+}

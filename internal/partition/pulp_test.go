@@ -1,0 +1,126 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/edge"
+	"repro/internal/gen"
+)
+
+func TestExplicitInvariants(t *testing.T) {
+	owners := []int32{0, 1, 1, 0, 2}
+	e, err := NewExplicit(owners, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartitioner(t, e)
+	if e.Kind() != PuLPKind {
+		t.Fatalf("kind = %v", e.Kind())
+	}
+	if e.OwnedCount(1) != 2 {
+		t.Fatalf("OwnedCount(1) = %d", e.OwnedCount(1))
+	}
+}
+
+func TestExplicitRejectsBadOwners(t *testing.T) {
+	if _, err := NewExplicit([]int32{0, 5}, 2); err == nil {
+		t.Fatal("out-of-range owner accepted")
+	}
+	if _, err := NewExplicit([]int32{-1}, 2); err == nil {
+		t.Fatal("negative owner accepted")
+	}
+}
+
+func TestPuLPKeepsBalanceConstraints(t *testing.T) {
+	spec := gen.Spec{Kind: gen.RMAT, NumVertices: 1 << 12, NumEdges: 1 << 16, Seed: 4}
+	edges, err := spec.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 8
+	opts := DefaultPuLP()
+	e, err := PuLP(spec.NumVertices, edges, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartitioner(t, e)
+	// Vertex balance within the slack (plus one for integer rounding).
+	ideal := float64(spec.NumVertices) / p
+	for r := 0; r < p; r++ {
+		if float64(e.OwnedCount(r)) > ideal*(1+opts.Slack)+1 {
+			t.Fatalf("rank %d holds %d vertices, cap ~%v", r, e.OwnedCount(r), ideal*(1+opts.Slack))
+		}
+	}
+}
+
+func TestPuLPCutsFewerEdgesThanRandom(t *testing.T) {
+	// The whole point of the refinement: lower cut than random at similar
+	// balance. Use a community-structured graph where locality exists to
+	// be found.
+	ps := gen.PlantedSpec{NumVertices: 1 << 12, NumEdges: 1 << 16, NumCommunities: 32, IntraProb: 0.85, Seed: 6}
+	edges, err := ps.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 8
+	pulp, err := PuLP(ps.NumVertices, edges, p, DefaultPuLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sPulp := Measure(pulp, edges)
+	sRand := Measure(NewRandom(ps.NumVertices, p, 3), edges)
+	if sPulp.CutFraction >= sRand.CutFraction {
+		t.Fatalf("PuLP cut %.3f not below random %.3f", sPulp.CutFraction, sRand.CutFraction)
+	}
+	t.Logf("cut: pulp=%.3f random=%.3f; edge imbalance: pulp=%.2f random=%.2f",
+		sPulp.CutFraction, sRand.CutFraction, sPulp.MaxEdgeImbalance, sRand.MaxEdgeImbalance)
+}
+
+func TestPuLPDeterministic(t *testing.T) {
+	spec := gen.Spec{Kind: gen.ER, NumVertices: 500, NumEdges: 4000, Seed: 2}
+	edges, _ := spec.GenerateAll()
+	a, err := PuLP(spec.NumVertices, edges, 4, DefaultPuLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PuLP(spec.NumVertices, edges, 4, DefaultPuLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint32(0); v < spec.NumVertices; v++ {
+		if a.Owner(v) != b.Owner(v) {
+			t.Fatal("PuLP not deterministic")
+		}
+	}
+}
+
+func TestPuLPEdgeCases(t *testing.T) {
+	// Empty graph: assignment stays block-like and valid.
+	e, err := PuLP(10, nil, 3, DefaultPuLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartitioner(t, e)
+	// Out-of-range endpoint rejected.
+	if _, err := PuLP(4, edge.List{0, 9}, 2, DefaultPuLP()); err == nil {
+		t.Fatal("bad endpoint accepted")
+	}
+	// Zero rank count rejected.
+	if _, err := PuLP(4, nil, 0, DefaultPuLP()); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+	// Defaults fill in for zeroed options.
+	if _, err := PuLP(16, edge.List{0, 1, 1, 2}, 2, PuLPOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseKindPulp(t *testing.T) {
+	k, err := ParseKind("pulp")
+	if err != nil || k != PuLPKind {
+		t.Fatalf("ParseKind(pulp) = %v, %v", k, err)
+	}
+	if PuLPKind.String() != "pulp" {
+		t.Fatalf("String = %q", PuLPKind.String())
+	}
+}

@@ -1,0 +1,359 @@
+package seq
+
+// PageRank runs iters power iterations with the given damping factor and
+// returns the score vector. Dangling-vertex mass is redistributed uniformly
+// every iteration, so scores always sum to 1.
+func PageRank(g *Graph, iters int, damping float64) []float64 {
+	n := float64(g.N)
+	pr := make([]float64, g.N)
+	next := make([]float64, g.N)
+	for v := range pr {
+		pr[v] = 1 / n
+	}
+	for it := 0; it < iters; it++ {
+		dangling := 0.0
+		for v := uint32(0); v < g.N; v++ {
+			if g.OutDeg(v) == 0 {
+				dangling += pr[v]
+			}
+		}
+		base := (1-damping)/n + damping*dangling/n
+		for v := range next {
+			next[v] = base
+		}
+		for u := uint32(0); u < g.N; u++ {
+			if d := g.OutDeg(u); d > 0 {
+				share := damping * pr[u] / float64(d)
+				for _, v := range g.OutN(u) {
+					next[v] += share
+				}
+			}
+		}
+		pr, next = next, pr
+	}
+	return pr
+}
+
+// LabelProp runs iters synchronous label-propagation rounds over the
+// undirected neighborhood and returns the final labels (initialized to
+// vertex ids).
+func LabelProp(g *Graph, iters int) []uint32 {
+	labels := make([]uint32, g.N)
+	next := make([]uint32, g.N)
+	for v := range labels {
+		labels[v] = uint32(v)
+	}
+	hist := make(map[uint32]uint64)
+	for it := 0; it < iters; it++ {
+		for v := uint32(0); v < g.N; v++ {
+			clear(hist)
+			for _, u := range g.OutN(v) {
+				hist[labels[u]]++
+			}
+			for _, u := range g.InN(v) {
+				hist[labels[u]]++
+			}
+			next[v] = bestLabel(hist, labels[v])
+		}
+		labels, next = next, labels
+	}
+	return labels
+}
+
+// bestLabel picks the most frequent label, ties toward the smallest; if
+// the histogram is empty the current label is kept.
+func bestLabel(hist map[uint32]uint64, current uint32) uint32 {
+	best := current
+	var bestCount uint64
+	for l, c := range hist {
+		if c > bestCount || (c == bestCount && l < best) {
+			best, bestCount = l, c
+		}
+	}
+	if bestCount == 0 {
+		return current
+	}
+	return best
+}
+
+// Dir selects traversal direction for BFS.
+type Dir int
+
+// Traversal directions.
+const (
+	Forward  Dir = iota // along out-edges
+	Backward            // along in-edges
+	Und                 // both directions
+)
+
+// BFS returns per-vertex levels from root (-1 for unreachable vertices).
+func BFS(g *Graph, root uint32, dir Dir) []int64 {
+	levels := make([]int64, g.N)
+	for v := range levels {
+		levels[v] = -1
+	}
+	levels[root] = 0
+	frontier := []uint32{root}
+	for depth := int64(1); len(frontier) > 0; depth++ {
+		var next []uint32
+		for _, v := range frontier {
+			visit := func(u uint32) {
+				if levels[u] < 0 {
+					levels[u] = depth
+					next = append(next, u)
+				}
+			}
+			if dir == Forward || dir == Und {
+				for _, u := range g.OutN(v) {
+					visit(u)
+				}
+			}
+			if dir == Backward || dir == Und {
+				for _, u := range g.InN(v) {
+					visit(u)
+				}
+			}
+		}
+		frontier = next
+	}
+	return levels
+}
+
+// WCC returns a component label per vertex: the smallest vertex id in its
+// undirected connected component.
+func WCC(g *Graph) []uint32 {
+	labels := make([]uint32, g.N)
+	const unset = ^uint32(0)
+	for v := range labels {
+		labels[v] = unset
+	}
+	for v := uint32(0); v < g.N; v++ {
+		if labels[v] != unset {
+			continue
+		}
+		// Undirected BFS labeling the whole component with v (ids are
+		// visited ascending, so v is the component minimum).
+		labels[v] = v
+		queue := []uint32{v}
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			visit := func(u uint32) {
+				if labels[u] == unset {
+					labels[u] = v
+					queue = append(queue, u)
+				}
+			}
+			for _, u := range g.OutN(x) {
+				visit(u)
+			}
+			for _, u := range g.InN(x) {
+				visit(u)
+			}
+		}
+	}
+	return labels
+}
+
+// SCC returns a component label per vertex (an arbitrary but consistent
+// representative id) using an iterative Tarjan algorithm.
+func SCC(g *Graph) []uint32 {
+	n := g.N
+	const unset = ^uint32(0)
+	index := make([]uint32, n)
+	low := make([]uint32, n)
+	onStack := make([]bool, n)
+	comp := make([]uint32, n)
+	for v := range index {
+		index[v] = unset
+		comp[v] = unset
+	}
+	var (
+		counter uint32
+		stack   []uint32
+	)
+	type frame struct {
+		v  uint32
+		ei uint64
+	}
+	for start := uint32(0); start < n; start++ {
+		if index[start] != unset {
+			continue
+		}
+		call := []frame{{v: start}}
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			advanced := false
+			for f.ei < g.OutDeg(v) {
+				w := g.Out[g.OutIdx[v]+f.ei]
+				f.ei++
+				if index[w] == unset {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is finished.
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = v
+					if w == v {
+						break
+					}
+				}
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				parent := call[len(call)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+	return comp
+}
+
+// Harmonic returns the harmonic centrality of v: the sum of 1/d(u, v) over
+// all u with a directed path to v, computed by a reverse BFS.
+func Harmonic(g *Graph, v uint32) float64 {
+	levels := BFS(g, v, Backward)
+	sum := 0.0
+	for u, d := range levels {
+		if d > 0 && uint32(u) != v {
+			sum += 1 / float64(d)
+		}
+	}
+	return sum
+}
+
+// CorenessUB runs the paper's approximate k-core procedure with thresholds
+// 2^1 .. 2^levels and returns a coreness upper bound per vertex: 2^i for a
+// vertex first removed (or cut from the largest component) at threshold
+// 2^i, and 2^levels for vertices surviving every level.
+func CorenessUB(g *Graph, levels int) []uint32 {
+	alive := make([]bool, g.N)
+	deg := make([]int64, g.N)
+	ub := make([]uint32, g.N)
+	for v := uint32(0); v < g.N; v++ {
+		alive[v] = true
+		deg[v] = int64(g.UndDeg(v))
+	}
+	for i := 1; i <= levels; i++ {
+		k := int64(1) << i
+		// Peel below-threshold vertices to a fixed point.
+		queue := []uint32{}
+		for v := uint32(0); v < g.N; v++ {
+			if alive[v] && deg[v] < k {
+				alive[v] = false
+				queue = append(queue, v)
+			}
+		}
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			drop := func(u uint32) {
+				deg[u]--
+				if alive[u] && deg[u] < k {
+					alive[u] = false
+					queue = append(queue, u)
+				}
+			}
+			for _, u := range g.OutN(x) {
+				drop(u)
+			}
+			for _, u := range g.InN(x) {
+				drop(u)
+			}
+		}
+		// Restrict to the largest surviving undirected component.
+		largest := largestAliveComponent(g, alive)
+		for v := uint32(0); v < g.N; v++ {
+			if alive[v] && !largest[v] {
+				alive[v] = false
+				// Its edges no longer support neighbors at later levels.
+				for _, u := range g.OutN(v) {
+					deg[u]--
+				}
+				for _, u := range g.InN(v) {
+					deg[u]--
+				}
+			}
+		}
+		// Everything that died at this level is bounded by 2^i; survivors'
+		// bound keeps rising.
+		for v := uint32(0); v < g.N; v++ {
+			if ub[v] == 0 && !alive[v] {
+				ub[v] = uint32(k)
+			}
+		}
+	}
+	for v := uint32(0); v < g.N; v++ {
+		if ub[v] == 0 {
+			ub[v] = 1 << levels
+		}
+	}
+	return ub
+}
+
+// largestAliveComponent marks the largest undirected component of the
+// alive-induced subgraph.
+func largestAliveComponent(g *Graph, alive []bool) []bool {
+	seen := make([]bool, g.N)
+	best := make([]bool, g.N)
+	bestSize := 0
+	cur := make([]uint32, 0)
+	for s := uint32(0); s < g.N; s++ {
+		if !alive[s] || seen[s] {
+			continue
+		}
+		cur = cur[:0]
+		seen[s] = true
+		queue := []uint32{s}
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			cur = append(cur, x)
+			visit := func(u uint32) {
+				if alive[u] && !seen[u] {
+					seen[u] = true
+					queue = append(queue, u)
+				}
+			}
+			for _, u := range g.OutN(x) {
+				visit(u)
+			}
+			for _, u := range g.InN(x) {
+				visit(u)
+			}
+		}
+		if len(cur) > bestSize {
+			bestSize = len(cur)
+			clear(best)
+			for _, v := range cur {
+				best[v] = true
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,86 @@
+// Package seq contains simple single-threaded reference implementations of
+// every analytic in the repository, used as test oracles for the
+// distributed implementations and (in tests only) for cross-checking graph
+// construction. Implementations favor obviousness over speed.
+//
+// Semantics pinned here (and matched exactly by the distributed code):
+//
+//   - PageRank: power iteration with uniform initialization, damping d,
+//     dangling mass redistributed uniformly each iteration.
+//   - Label Propagation: synchronous updates; neighborhood is the union of
+//     in- and out-edges (directivity ignored, multi-edges counted with
+//     multiplicity); ties break toward the smallest label; isolated
+//     vertices keep their label. (The paper breaks ties randomly; smallest
+//     keeps every rank count deterministic and testable.)
+//   - BFS: level-synchronous, directed (out), reverse (in), or undirected.
+//   - WCC: connected components ignoring direction; compared as partitions.
+//   - SCC: strongly connected components; compared as partitions.
+//   - Harmonic centrality of v: sum over u != v of 1/d(u, v), d measured
+//     along directed edges into v (computed by reverse BFS).
+//   - Approximate k-core: the paper's §III-D procedure — for thresholds
+//     2^i, i = 1..levels, repeatedly remove vertices of undirected degree
+//     < 2^i, keep only the largest connected component of the remainder,
+//     and record 2^i as the coreness upper bound of everything removed at
+//     that level; survivors of all levels get 2^levels.
+package seq
+
+import "repro/internal/edge"
+
+// Graph is an immutable sequential CSR over both directions.
+type Graph struct {
+	N      uint32
+	M      uint64
+	OutIdx []uint64
+	Out    []uint32
+	InIdx  []uint64
+	In     []uint32
+}
+
+// FromEdges builds a Graph with n vertices from a directed edge list.
+// Self-loops and parallel edges are kept, as in the paper's inputs.
+func FromEdges(n uint32, edges edge.List) *Graph {
+	g := &Graph{N: n, M: uint64(edges.Len())}
+	outDeg := make([]uint64, n)
+	inDeg := make([]uint64, n)
+	for i := 0; i < edges.Len(); i++ {
+		outDeg[edges.Src(i)]++
+		inDeg[edges.Dst(i)]++
+	}
+	g.OutIdx = prefix(outDeg)
+	g.InIdx = prefix(inDeg)
+	g.Out = make([]uint32, g.OutIdx[n])
+	g.In = make([]uint32, g.InIdx[n])
+	outCur := append([]uint64(nil), g.OutIdx[:n]...)
+	inCur := append([]uint64(nil), g.InIdx[:n]...)
+	for i := 0; i < edges.Len(); i++ {
+		u, v := edges.Src(i), edges.Dst(i)
+		g.Out[outCur[u]] = v
+		outCur[u]++
+		g.In[inCur[v]] = u
+		inCur[v]++
+	}
+	return g
+}
+
+func prefix(counts []uint64) []uint64 {
+	idx := make([]uint64, len(counts)+1)
+	for i, c := range counts {
+		idx[i+1] = idx[i] + c
+	}
+	return idx
+}
+
+// OutN returns v's out-neighbors.
+func (g *Graph) OutN(v uint32) []uint32 { return g.Out[g.OutIdx[v]:g.OutIdx[v+1]] }
+
+// InN returns v's in-neighbors.
+func (g *Graph) InN(v uint32) []uint32 { return g.In[g.InIdx[v]:g.InIdx[v+1]] }
+
+// OutDeg returns v's out-degree.
+func (g *Graph) OutDeg(v uint32) uint64 { return g.OutIdx[v+1] - g.OutIdx[v] }
+
+// InDeg returns v's in-degree.
+func (g *Graph) InDeg(v uint32) uint64 { return g.InIdx[v+1] - g.InIdx[v] }
+
+// UndDeg returns v's undirected degree (in + out, loops counted twice).
+func (g *Graph) UndDeg(v uint32) uint64 { return g.OutDeg(v) + g.InDeg(v) }

@@ -1,0 +1,329 @@
+package seq
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/edge"
+	"repro/internal/gen"
+)
+
+// chainGraph returns 0 -> 1 -> 2 -> ... -> n-1.
+func chainGraph(n uint32) *Graph {
+	var l edge.List
+	for i := uint32(0); i+1 < n; i++ {
+		l.Push(i, i+1)
+	}
+	return FromEdges(n, l)
+}
+
+func TestFromEdgesDegreesAndNeighbors(t *testing.T) {
+	var l edge.List
+	l.Push(0, 1)
+	l.Push(0, 2)
+	l.Push(2, 0)
+	l.Push(2, 2) // self-loop
+	l.Push(0, 1) // parallel edge
+	g := FromEdges(3, l)
+	if g.M != 5 {
+		t.Fatalf("M = %d", g.M)
+	}
+	if g.OutDeg(0) != 3 || g.InDeg(0) != 1 {
+		t.Fatalf("deg(0) = %d/%d", g.OutDeg(0), g.InDeg(0))
+	}
+	if g.OutDeg(2) != 2 || g.InDeg(2) != 2 {
+		t.Fatalf("deg(2) = %d/%d", g.OutDeg(2), g.InDeg(2))
+	}
+	if g.UndDeg(2) != 4 {
+		t.Fatalf("UndDeg(2) = %d", g.UndDeg(2))
+	}
+	outs := map[uint32]int{}
+	for _, u := range g.OutN(0) {
+		outs[u]++
+	}
+	if outs[1] != 2 || outs[2] != 1 {
+		t.Fatalf("OutN(0) multiset wrong: %v", outs)
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	spec := gen.Spec{Kind: gen.RMAT, NumVertices: 500, NumEdges: 3000, Seed: 4}
+	l, _ := spec.GenerateAll()
+	g := FromEdges(spec.NumVertices, l)
+	pr := PageRank(g, 20, 0.85)
+	sum := 0.0
+	for _, x := range pr {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("PageRank sums to %v", sum)
+	}
+}
+
+func TestPageRankStarGraph(t *testing.T) {
+	// Vertices 1..4 all point at 0; 0 is dangling.
+	var l edge.List
+	for i := uint32(1); i <= 4; i++ {
+		l.Push(i, 0)
+	}
+	g := FromEdges(5, l)
+	pr := PageRank(g, 50, 0.85)
+	// Hub must dominate, spokes must be equal.
+	for i := 2; i <= 4; i++ {
+		if math.Abs(pr[i]-pr[1]) > 1e-12 {
+			t.Fatalf("spokes unequal: %v", pr)
+		}
+	}
+	if pr[0] <= pr[1]*2 {
+		t.Fatalf("hub not dominant: %v", pr)
+	}
+}
+
+func TestPageRankUniformOnCycle(t *testing.T) {
+	// A directed cycle is regular: stationary distribution is uniform.
+	var l edge.List
+	const n = 10
+	for i := uint32(0); i < n; i++ {
+		l.Push(i, (i+1)%n)
+	}
+	g := FromEdges(n, l)
+	pr := PageRank(g, 100, 0.85)
+	for _, x := range pr {
+		if math.Abs(x-0.1) > 1e-9 {
+			t.Fatalf("cycle PageRank not uniform: %v", pr)
+		}
+	}
+}
+
+func TestLabelPropTwoCliques(t *testing.T) {
+	// Two triangles joined by one edge: labels converge within triangles.
+	var l edge.List
+	tri := func(a, b, c uint32) {
+		l.Push(a, b)
+		l.Push(b, c)
+		l.Push(c, a)
+		l.Push(b, a)
+		l.Push(c, b)
+		l.Push(a, c)
+	}
+	tri(0, 1, 2)
+	tri(3, 4, 5)
+	l.Push(2, 3)
+	g := FromEdges(6, l)
+	labels := LabelProp(g, 10)
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatalf("first triangle split: %v", labels)
+	}
+	if labels[3] != labels[4] || labels[4] != labels[5] {
+		t.Fatalf("second triangle split: %v", labels)
+	}
+}
+
+func TestLabelPropIsolatedKeepsLabel(t *testing.T) {
+	g := FromEdges(3, edge.List{0, 1}) // vertex 2 isolated
+	labels := LabelProp(g, 5)
+	if labels[2] != 2 {
+		t.Fatalf("isolated vertex label = %d", labels[2])
+	}
+}
+
+func TestBFSDirections(t *testing.T) {
+	g := chainGraph(5)
+	fwd := BFS(g, 0, Forward)
+	for v, want := range []int64{0, 1, 2, 3, 4} {
+		if fwd[v] != want {
+			t.Fatalf("forward levels: %v", fwd)
+		}
+	}
+	bwd := BFS(g, 4, Backward)
+	for v, want := range []int64{4, 3, 2, 1, 0} {
+		if bwd[v] != want {
+			t.Fatalf("backward levels: %v", bwd)
+		}
+	}
+	und := BFS(g, 2, Und)
+	for v, want := range []int64{2, 1, 0, 1, 2} {
+		if und[v] != want {
+			t.Fatalf("undirected levels: %v", und)
+		}
+	}
+	// Unreachable under Forward from the chain's end.
+	fromEnd := BFS(g, 4, Forward)
+	for v := 0; v < 4; v++ {
+		if fromEnd[v] != -1 {
+			t.Fatalf("vertex %d reachable from sink: %v", v, fromEnd)
+		}
+	}
+}
+
+func TestWCCTwoComponents(t *testing.T) {
+	var l edge.List
+	l.Push(0, 1)
+	l.Push(2, 1) // direction must not matter
+	l.Push(3, 4)
+	g := FromEdges(6, l) // vertex 5 isolated
+	w := WCC(g)
+	if w[0] != w[1] || w[1] != w[2] {
+		t.Fatalf("component 1 split: %v", w)
+	}
+	if w[3] != w[4] || w[3] == w[0] {
+		t.Fatalf("component 2 wrong: %v", w)
+	}
+	if w[5] == w[0] || w[5] == w[3] {
+		t.Fatalf("isolated vertex merged: %v", w)
+	}
+	if w[0] != 0 || w[3] != 3 || w[5] != 5 {
+		t.Fatalf("labels not component minima: %v", w)
+	}
+}
+
+func TestSCCCycleAndTail(t *testing.T) {
+	// 0 -> 1 -> 2 -> 0 cycle, 2 -> 3 tail, 3 -> 4.
+	l := edge.List{0, 1, 1, 2, 2, 0, 2, 3, 3, 4}
+	g := FromEdges(5, l)
+	c := SCC(g)
+	if c[0] != c[1] || c[1] != c[2] {
+		t.Fatalf("cycle split: %v", c)
+	}
+	if c[3] == c[0] || c[4] == c[0] || c[3] == c[4] {
+		t.Fatalf("tail vertices merged: %v", c)
+	}
+}
+
+func TestSCCBidirectionalPath(t *testing.T) {
+	// 0 <-> 1 <-> 2: one SCC.
+	l := edge.List{0, 1, 1, 0, 1, 2, 2, 1}
+	g := FromEdges(3, l)
+	c := SCC(g)
+	if c[0] != c[1] || c[1] != c[2] {
+		t.Fatalf("bidirectional path split: %v", c)
+	}
+}
+
+func TestSCCDeepChainNoOverflow(t *testing.T) {
+	// The iterative Tarjan must handle a path of 100k vertices (a
+	// recursive version would blow the stack).
+	const n = 100000
+	g := chainGraph(n)
+	c := SCC(g)
+	seen := map[uint32]bool{}
+	for _, x := range c {
+		seen[x] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("chain has %d SCCs, want %d", len(seen), n)
+	}
+}
+
+func TestHarmonicChain(t *testing.T) {
+	// Chain 0->1->2->3->4: HC(4) = 1/1 + 1/2 + 1/3 + 1/4.
+	g := chainGraph(5)
+	want := 1.0 + 0.5 + 1.0/3 + 0.25
+	if got := Harmonic(g, 4); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Harmonic(4) = %v, want %v", got, want)
+	}
+	if got := Harmonic(g, 0); got != 0 {
+		t.Fatalf("Harmonic(source) = %v, want 0", got)
+	}
+}
+
+func TestCorenessUBCliquePlusTail(t *testing.T) {
+	// A 6-clique (bidirectional edges: und-degree 10 within the clique)
+	// with a pendant chain. Clique vertices must outlast the chain.
+	var l edge.List
+	for i := uint32(0); i < 6; i++ {
+		for j := uint32(0); j < 6; j++ {
+			if i != j {
+				l.Push(i, j)
+			}
+		}
+	}
+	l.Push(5, 6)
+	l.Push(6, 7)
+	g := FromEdges(8, l)
+	ub := CorenessUB(g, 5)
+	if ub[7] >= ub[0] {
+		t.Fatalf("tail bound %d not below clique bound %d", ub[7], ub[0])
+	}
+	for i := 1; i < 6; i++ {
+		if ub[i] != ub[0] {
+			t.Fatalf("clique bounds differ: %v", ub[:6])
+		}
+	}
+	// Clique survives threshold 2 and 4 and 8 (und-deg 10), dies at 16.
+	if ub[0] != 16 {
+		t.Fatalf("clique bound = %d, want 16", ub[0])
+	}
+	// Tail vertex 7 has und-degree 1: dies at the first threshold (2).
+	if ub[7] != 2 {
+		t.Fatalf("tail bound = %d, want 2", ub[7])
+	}
+}
+
+func TestCorenessUBDisconnectedSurvivorCut(t *testing.T) {
+	// Two 4-cycles (und-degree 2 per vertex... need >= threshold 2): use
+	// two 5-cliques of different sizes: a 5-clique and a 4-clique, both
+	// surviving threshold 2; only the larger is the "largest component",
+	// so the 4-clique must be cut at level 1 despite sufficient degree.
+	var l edge.List
+	clique := func(vs []uint32) {
+		for _, a := range vs {
+			for _, b := range vs {
+				if a != b {
+					l.Push(a, b)
+				}
+			}
+		}
+	}
+	clique([]uint32{0, 1, 2, 3, 4})
+	clique([]uint32{5, 6, 7, 8})
+	g := FromEdges(9, l)
+	ub := CorenessUB(g, 3)
+	if ub[5] != 2 {
+		t.Fatalf("smaller clique survived the largest-component cut: %v", ub)
+	}
+	if ub[0] != 8 { // 5-clique und-degree 8: survives 2 and 4, dies at 8
+		t.Fatalf("larger clique bound = %d, want 8", ub[0])
+	}
+}
+
+func TestCorenessUBEmptyGraph(t *testing.T) {
+	g := FromEdges(4, nil)
+	ub := CorenessUB(g, 3)
+	for _, x := range ub {
+		if x != 2 {
+			t.Fatalf("isolated vertices must die at the first level: %v", ub)
+		}
+	}
+}
+
+func TestDijkstraChainAndWeights(t *testing.T) {
+	g := chainGraph(4)                                     // 0->1->2->3
+	w := func(u, v uint32) uint64 { return uint64(u) + 2 } // 2,3,4
+	d := Dijkstra(g, 0, w)
+	want := []uint64{0, 2, 5, 9}
+	for v := range want {
+		if d[v] != want[v] {
+			t.Fatalf("dist = %v, want %v", d, want)
+		}
+	}
+	if d2 := Dijkstra(g, 3, w); d2[0] != InfDistance {
+		t.Fatalf("backward reach from sink: %v", d2)
+	}
+}
+
+func TestDijkstraPrefersLightPath(t *testing.T) {
+	// 0->1->2 (weights 1+1) vs direct 0->2 (weight 5).
+	l := edge.List{0, 1, 1, 2, 0, 2}
+	g := FromEdges(3, l)
+	w := func(u, v uint32) uint64 {
+		if u == 0 && v == 2 {
+			return 5
+		}
+		return 1
+	}
+	d := Dijkstra(g, 0, w)
+	if d[2] != 2 {
+		t.Fatalf("dist[2] = %d, want 2", d[2])
+	}
+}

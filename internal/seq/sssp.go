@@ -1,0 +1,51 @@
+package seq
+
+import "container/heap"
+
+// InfDistance marks unreachable vertices.
+const InfDistance = ^uint64(0)
+
+// Dijkstra computes single-source shortest paths from root along directed
+// edges, with w(src, dst) giving each edge's positive weight — the oracle
+// for the distributed SSSP.
+func Dijkstra(g *Graph, root uint32, w func(src, dst uint32) uint64) []uint64 {
+	dist := make([]uint64, g.N)
+	for v := range dist {
+		dist[v] = InfDistance
+	}
+	dist[root] = 0
+	pq := &distHeap{{v: root, d: 0}}
+	for pq.Len() > 0 {
+		top := heap.Pop(pq).(distEntry)
+		if top.d > dist[top.v] {
+			continue // stale entry
+		}
+		for _, u := range g.OutN(top.v) {
+			nd := top.d + w(top.v, u)
+			if nd < dist[u] {
+				dist[u] = nd
+				heap.Push(pq, distEntry{v: u, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distEntry struct {
+	v uint32
+	d uint64
+}
+
+type distHeap []distEntry
+
+func (h distHeap) Len() int           { return len(h) }
+func (h distHeap) Less(i, j int) bool { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x any)        { *h = append(*h, x.(distEntry)) }
+func (h *distHeap) Pop() (out any) {
+	old := *h
+	n := len(old)
+	out = old[n-1]
+	*h = old[:n-1]
+	return out
+}

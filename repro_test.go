@@ -1,0 +1,298 @@
+package repro
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/gio"
+	"repro/internal/seq"
+)
+
+func testCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c := NewCluster(3, 2)
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClusterGenerateAndAnalytics(t *testing.T) {
+	c := testCluster(t)
+	spec := RMAT(256, 2048, 7)
+	g, err := c.Generate(spec, PartRandom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 256 || g.NumEdges() != 2048 {
+		t.Fatalf("sizes %d/%d", g.NumVertices(), g.NumEdges())
+	}
+
+	edges, err := spec.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := seq.FromEdges(spec.NumVertices, edges)
+
+	pr, err := g.PageRank(PageRankOptions{Iterations: 10, Damping: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPR := seq.PageRank(ref, 10, 0.85)
+	for v := range wantPR {
+		if math.Abs(pr[v]-wantPR[v]) > 1e-9 {
+			t.Fatalf("PR[%d] = %v, want %v", v, pr[v], wantPR[v])
+		}
+	}
+
+	labels, err := g.LabelPropagation(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLP := seq.LabelProp(ref, 5)
+	for v := range wantLP {
+		if labels[v] != wantLP[v] {
+			t.Fatalf("LP[%d] = %d, want %d", v, labels[v], wantLP[v])
+		}
+	}
+
+	levels, err := g.BFS(0, BFSForward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBFS := seq.BFS(ref, 0, seq.Forward)
+	for v := range wantBFS {
+		if int64(levels[v]) != wantBFS[v] {
+			t.Fatalf("BFS[%d] = %d, want %d", v, levels[v], wantBFS[v])
+		}
+	}
+
+	hc, err := g.Harmonic(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := seq.Harmonic(ref, 3); math.Abs(hc-want) > 1e-9 {
+		t.Fatalf("HC = %v, want %v", hc, want)
+	}
+
+	ub, err := g.KCore(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUB := seq.CorenessUB(ref, 5)
+	for v := range wantUB {
+		if ub[v] != wantUB[v] {
+			t.Fatalf("KCore[%d] = %d, want %d", v, ub[v], wantUB[v])
+		}
+	}
+}
+
+func TestClusterConnectivity(t *testing.T) {
+	c := testCluster(t)
+	// Two SCCs and a tail, two WCCs.
+	pairs := []uint32{0, 1, 1, 0, 1, 2, 3, 4, 4, 3}
+	g, err := c.FromEdges(6, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcc, err := g.WCC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wcc.NumComponents != 3 { // {0,1,2}, {3,4}, {5}
+		t.Fatalf("WCC components = %d", wcc.NumComponents)
+	}
+	if wcc.LargestSize != 3 {
+		t.Fatalf("WCC largest = %d", wcc.LargestSize)
+	}
+	scc, err := g.SCC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scc.NumComponents != 4 { // {0,1}, {2}, {3,4}, {5}
+		t.Fatalf("SCC components = %d", scc.NumComponents)
+	}
+	if scc.LargestSize != 2 {
+		t.Fatalf("SCC largest = %d", scc.LargestSize)
+	}
+	members, size, err := g.LargestSCC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 2 {
+		t.Fatalf("LargestSCC size = %d", size)
+	}
+	count := 0
+	for _, m := range members {
+		if m {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("LargestSCC members = %d", count)
+	}
+}
+
+func TestClusterLoadFile(t *testing.T) {
+	spec := gen.Spec{Kind: gen.ER, NumVertices: 100, NumEdges: 500, Seed: 9}
+	edges, err := spec.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.bin")
+	if err := gio.WriteFile(path, edges); err != nil {
+		t.Fatal(err)
+	}
+	c := testCluster(t)
+	g, err := c.LoadFile(path, PartVertexBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 500 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	if g.Build.Total() <= 0 {
+		t.Fatalf("no build timings: %+v", g.Build)
+	}
+	// Max vertex id determines n.
+	max, _ := edges.MaxVertex()
+	if g.NumVertices() != max+1 {
+		t.Fatalf("n = %d, want %d", g.NumVertices(), max+1)
+	}
+}
+
+func TestTopCommunitiesAndHarmonicTopK(t *testing.T) {
+	c := testCluster(t)
+	spec := GraphSpec{Kind: gen.RMAT, NumVertices: 200, NumEdges: 1500, Seed: 12}
+	g, err := c.Generate(spec, PartVertexBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := g.TopCommunities(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) == 0 || stats[0].N == 0 {
+		t.Fatalf("no communities: %v", stats)
+	}
+	scores, err := g.HarmonicTopK(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 4 {
+		t.Fatalf("HarmonicTopK returned %d", len(scores))
+	}
+}
+
+func TestFromEdgesRejectsRagged(t *testing.T) {
+	c := testCluster(t)
+	if _, err := c.FromEdges(3, []uint32{1, 2, 3}); err == nil {
+		t.Fatal("ragged pairs accepted")
+	}
+}
+
+func TestMultipleGraphsOneCluster(t *testing.T) {
+	c := testCluster(t)
+	g1, err := c.Generate(RMAT(64, 256, 1), PartVertexBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := c.Generate(RandER(128, 512, 2), PartRandom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g1.PageRank(PageRankOptions{Iterations: 2, Damping: 0.85}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g2.WCC(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtensionAnalytics(t *testing.T) {
+	c := testCluster(t)
+	// A bidirectional triangle plus a pendant chain.
+	pairs := []uint32{0, 1, 1, 0, 1, 2, 2, 1, 0, 2, 2, 0, 2, 3, 3, 4}
+	g, err := c.FromEdges(5, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := g.ApproxDiameter(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 3 { // 0/1 -> 2 -> 3 -> 4
+		t.Fatalf("diameter = %d, want 3", d)
+	}
+	cc, err := g.ClusteringCoefficient(100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc <= 0 || cc > 1 {
+		t.Fatalf("clustering coefficient = %v", cc)
+	}
+}
+
+func TestGraphSaveLoad(t *testing.T) {
+	c := testCluster(t)
+	spec := RMAT(512, 4096, 21)
+	g, err := c.Generate(spec, PartRandom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prWant, err := g.PageRank(PageRankOptions{Iterations: 5, Damping: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := g.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := c.LoadGraph(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("reloaded sizes %d/%d", g2.NumVertices(), g2.NumEdges())
+	}
+	prGot, err := g2.PageRank(PageRankOptions{Iterations: 5, Damping: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range prWant {
+		if math.Abs(prGot[v]-prWant[v]) > 1e-12 {
+			t.Fatalf("reloaded PR[%d] = %v, want %v", v, prGot[v], prWant[v])
+		}
+	}
+	// Mismatched cluster size must be rejected.
+	other := NewCluster(2, 1)
+	defer other.Close()
+	if _, err := other.LoadGraph(dir); err == nil {
+		t.Fatal("shard set loaded on wrong rank count")
+	}
+}
+
+func TestPublicSSSP(t *testing.T) {
+	c := testCluster(t)
+	g, err := c.FromEdges(4, []uint32{0, 1, 1, 2, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := g.SSSP(0, nil) // unit weights
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0, 1, 2, 1}
+	for v := range want {
+		if d[v] != want[v] {
+			t.Fatalf("SSSP = %v, want %v", d, want)
+		}
+	}
+	dh, err := g.SSSP(2, HashWeights(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dh[0] != SSSPInf || dh[2] != 0 {
+		t.Fatalf("hashed SSSP from sink: %v", dh)
+	}
+}
