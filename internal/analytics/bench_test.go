@@ -1,0 +1,60 @@
+package analytics
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/partition"
+)
+
+// BenchmarkHaloExchange measures the steady-state cost of one retained-queue
+// ghost refresh (the inner loop of every PageRank-like analytic) across rank
+// counts and graph sizes. Allocations per op are the headline: after the
+// first call the exchange must not allocate.
+func BenchmarkHaloExchange(b *testing.B) {
+	for _, p := range []int{2, 4, 8} {
+		for _, scale := range []int{12, 15} {
+			n := 1 << scale
+			b.Run(fmt.Sprintf("ranks=%d/n=%d", p, n), func(b *testing.B) {
+				b.ReportAllocs()
+				spec := gen.Spec{Kind: gen.RMAT, NumVertices: uint32(n), NumEdges: uint64(n) * 8, Seed: 11}
+				src := core.SpecSource{Spec: spec}
+				err := comm.RunLocal(p, func(c *comm.Comm) error {
+					ctx := core.NewCtx(c, 1)
+					pt, err := core.MakePartitioner(ctx, src, partition.Random, spec.NumVertices, 3)
+					if err != nil {
+						return err
+					}
+					g, _, err := core.Build(ctx, src, pt)
+					if err != nil {
+						return err
+					}
+					halo, err := BuildHalo(ctx, g, DirsOut)
+					if err != nil {
+						return err
+					}
+					state := make([]float64, g.NTotal())
+					for i := range state {
+						state[i] = float64(i)
+					}
+					if c.Rank() == 0 {
+						b.SetBytes(int64(halo.SendVolume() * 8))
+						b.ResetTimer()
+					}
+					for i := 0; i < b.N; i++ {
+						if err := Exchange(ctx, halo, state); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/core"
-	"repro/internal/par"
 )
 
 // Dir selects traversal direction for BFS-like analytics.
@@ -58,6 +57,7 @@ func BFS(ctx *core.Ctx, g *core.Graph, root uint32, dir Dir) (*BFSResult, error)
 	reached := uint64(0)
 	depth := -1
 
+	var fsc frontierScratch
 	globalSize := uint64(1)
 	for level := int32(0); globalSize != 0; level++ {
 		next, send, err := expandFrontier(ctx, g, status, queue, level, dir)
@@ -68,7 +68,7 @@ func BFS(ctx *core.Ctx, g *core.Graph, root uint32, dir Dir) (*BFSResult, error)
 			depth = int(level)
 		}
 		reached += uint64(len(queue))
-		arrived, err := exchangeFrontier(ctx, g, send)
+		arrived, err := exchangeFrontier(ctx, g, send, &fsc)
 		if err != nil {
 			return nil, err
 		}
@@ -160,32 +160,63 @@ func expandFrontier(ctx *core.Ctx, g *core.Graph, status []int32, queue []uint32
 	return next, send, nil
 }
 
+// frontierScratch retains exchangeFrontier's staging buffers across the
+// rounds of one BFS-like loop, so steady-state frontier exchanges reuse
+// rather than reallocate them. Zero value is ready to use; the slice
+// returned by exchangeFrontier aliases the scratch and is valid until the
+// next call with the same scratch.
+type frontierScratch struct {
+	counts     []uint64
+	cur        []uint64
+	sendCounts []int
+	vsend      []uint32
+	recv       []uint32
+	recvCounts []int
+	lids       []uint32
+}
+
 // exchangeFrontier routes ghost local ids to their owning ranks (as global
 // ids, the only currency ranks share) and returns the owned local ids that
-// arrived here. Callers deduplicate against their own status arrays.
-func exchangeFrontier(ctx *core.Ctx, g *core.Graph, ghostLids []uint32) ([]uint32, error) {
+// arrived here, multiplicity preserved. Callers deduplicate (or count)
+// against their own state arrays.
+func exchangeFrontier(ctx *core.Ctx, g *core.Graph, ghostLids []uint32, sc *frontierScratch) ([]uint32, error) {
 	p := ctx.Size()
-	counts := make([]uint64, p)
+	if cap(sc.counts) < p {
+		sc.counts = make([]uint64, p)
+		sc.cur = make([]uint64, p)
+		sc.sendCounts = make([]int, p)
+	}
+	counts, cur, sendCounts := sc.counts[:p], sc.cur[:p], sc.sendCounts[:p]
+	for i := range counts {
+		counts[i] = 0
+	}
 	for _, u := range ghostLids {
 		counts[g.GhostOwner[u-g.NLoc]]++
 	}
-	offsets, total := par.ExclusivePrefixSum(counts)
-	vsend := make([]uint32, total)
-	cur := append([]uint64(nil), offsets[:p]...)
+	var total uint64
+	for d, c := range counts {
+		cur[d] = total
+		sendCounts[d] = int(c)
+		total += c
+	}
+	if uint64(cap(sc.vsend)) < total {
+		sc.vsend = make([]uint32, total)
+	}
+	vsend := sc.vsend[:total]
 	for _, u := range ghostLids {
 		d := g.GhostOwner[u-g.NLoc]
 		vsend[cur[d]] = g.GlobalID(u)
 		cur[d]++
 	}
-	sendCounts := make([]int, p)
-	for d, c := range counts {
-		sendCounts[d] = int(c)
-	}
-	recv, _, err := comm.Alltoallv(ctx.Comm, vsend, sendCounts)
+	recv, recvCounts, err := comm.AlltoallvInto(ctx.Comm, vsend, sendCounts, sc.recv, sc.recvCounts)
 	if err != nil {
 		return nil, err
 	}
-	lids := make([]uint32, len(recv))
+	sc.recv, sc.recvCounts = recv, recvCounts
+	if cap(sc.lids) < len(recv) {
+		sc.lids = make([]uint32, len(recv))
+	}
+	lids := sc.lids[:len(recv)]
 	for i, gid := range recv {
 		lid := g.LocalID(gid)
 		if lid == core.InvalidLocal || lid >= g.NLoc {

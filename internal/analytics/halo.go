@@ -38,6 +38,15 @@ type Halo struct {
 	// exactly the order values arrive (the paper's vRecv after its one-time
 	// global-to-local conversion).
 	recvLids []uint32
+
+	// Retained exchange scratch: the typed send/recv staging reused by
+	// every Exchange so the steady-state iteration allocates nothing.
+	// Stored as any because Halo itself is not generic; a halo is driven
+	// with one element type in practice, and a type change simply re-warms
+	// the scratch.
+	sendScratch any
+	recvScratch any
+	recvCounts  []int
 }
 
 // Dirs selects which adjacency directions a halo covers: a vertex's value
@@ -156,7 +165,12 @@ func BuildHalo(ctx *core.Ctx, g *core.Graph, dirs Dirs) (*Halo, error) {
 		}
 		recvLids[i] = lid
 	}
-	return &Halo{sendVerts: sendVerts, sendCounts: sendCounts, recvLids: recvLids}, nil
+	return &Halo{
+		sendVerts:  sendVerts,
+		sendCounts: sendCounts,
+		recvLids:   recvLids,
+		recvCounts: make([]int, p),
+	}, nil
 }
 
 // SendVolume returns the number of values shipped per exchange (the halo's
@@ -166,22 +180,61 @@ func (h *Halo) SendVolume() int { return len(h.sendVerts) }
 // RecvVolume returns the number of ghost updates received per exchange.
 func (h *Halo) RecvVolume() int { return len(h.recvLids) }
 
+// haloParMin is the volume (elements) above which the halo gather/scatter
+// loops fan out over the rank's thread pool. Below it the memcpy-like loop
+// is cheaper than waking workers.
+const haloParMin = 1 << 13
+
 // Exchange refreshes ghost copies in state (length NTotal) from their
-// owners: one value-only Alltoallv against the retained queues.
+// owners: one value-only Alltoallv against the retained queues. Send and
+// receive staging is retained on the halo and the byte buffers on the
+// communicator, so after the first call an exchange performs zero heap
+// allocations; gather and scatter go parallel for large halos.
 func Exchange[T comm.Scalar](ctx *core.Ctx, h *Halo, state []T) error {
-	send := make([]T, len(h.sendVerts))
-	for i, v := range h.sendVerts {
-		send[i] = state[v]
+	ns, nr := len(h.sendVerts), len(h.recvLids)
+	send, ok := h.sendScratch.([]T)
+	if !ok || cap(send) < ns {
+		send = make([]T, ns)
+		h.sendScratch = send
 	}
-	recv, _, err := comm.Alltoallv(ctx.Comm, send, h.sendCounts)
+	send = send[:ns]
+	par := ctx.Pool.Threads() > 1
+	if par && ns >= haloParMin {
+		ctx.Pool.For(ns, func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				send[i] = state[h.sendVerts[i]]
+			}
+		})
+	} else {
+		for i, v := range h.sendVerts {
+			send[i] = state[v]
+		}
+	}
+
+	recv, ok := h.recvScratch.([]T)
+	if !ok || cap(recv) < nr {
+		recv = make([]T, nr)
+		h.recvScratch = recv
+	}
+	recv, _, err := comm.AlltoallvInto(ctx.Comm, send, h.sendCounts, recv[:nr], h.recvCounts)
 	if err != nil {
 		return err
 	}
-	if len(recv) != len(h.recvLids) {
-		return fmt.Errorf("analytics: halo exchange received %d values, want %d", len(recv), len(h.recvLids))
+	if len(recv) != nr {
+		return fmt.Errorf("analytics: halo exchange received %d values, want %d", len(recv), nr)
 	}
-	for i, lid := range h.recvLids {
-		state[lid] = recv[i]
+	// Each ghost here has exactly one owner and arrives once per exchange,
+	// so the parallel scatter writes disjoint slots.
+	if par && nr >= haloParMin {
+		ctx.Pool.For(nr, func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				state[h.recvLids[i]] = recv[i]
+			}
+		})
+	} else {
+		for i, lid := range h.recvLids {
+			state[lid] = recv[i]
+		}
 	}
 	return nil
 }

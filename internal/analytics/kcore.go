@@ -39,6 +39,7 @@ func KCoreApprox(ctx *core.Ctx, g *core.Graph, levels int) (*KCoreResult, error)
 	colors := make([]uint32, g.NTotal())
 	const deadColor = ^uint32(0)
 
+	var fsc frontierScratch
 	for level := 1; level <= levels; level++ {
 		k := int64(1) << level
 
@@ -76,7 +77,7 @@ func KCoreApprox(ctx *core.Ctx, g *core.Graph, levels int) (*KCoreResult, error)
 					drop(u)
 				}
 			}
-			arrived, err := exchangeFrontier(ctx, g, ghostDecs)
+			arrived, err := exchangeFrontier(ctx, g, ghostDecs, &fsc)
 			if err != nil {
 				return nil, err
 			}

@@ -260,6 +260,7 @@ func sweep(ctx *core.Ctx, g *core.Graph, comp []uint32, seeds []uint32, dir Dir,
 	// Under coloring, seeds are roots whose comp was just assigned by the
 	// caller; without coloring, seeds must be unassigned.
 
+	var fsc frontierScratch
 	for {
 		nt := ctx.Pool.Threads()
 		sendPer := make([][]uint32, nt)
@@ -306,7 +307,7 @@ func sweep(ctx *core.Ctx, g *core.Graph, comp []uint32, seeds []uint32, dir Dir,
 			next = append(next, nextPer[t]...)
 			send = append(send, sendPer[t]...)
 		}
-		arrived, err := exchangeFrontier(ctx, g, send)
+		arrived, err := exchangeFrontier(ctx, g, send, &fsc)
 		if err != nil {
 			return nil, err
 		}

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/core"
-	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -72,6 +71,17 @@ func SSSP(ctx *core.Ctx, g *core.Graph, root uint32, w WeightFunc) (*SSSPResult,
 		queue = append(queue, lid)
 	}
 
+	// Round-retained exchange scratch: routing tables and the two aligned
+	// (gid, dist) message streams are reused every round, so steady-state
+	// rounds allocate only for frontier growth.
+	p := ctx.Size()
+	counts := make([]uint64, p)
+	cur := make([]uint64, p)
+	intCounts := make([]int, p)
+	var sendGid, recvGid []uint32
+	var sendDist, recvDist []uint64
+	var recvGidCounts, recvDistCounts []int
+
 	rounds := 0
 	for {
 		globalActive, err := comm.Allreduce(ctx.Comm, uint64(len(queue)), comm.OpSum)
@@ -133,30 +143,34 @@ func SSSP(ctx *core.Ctx, g *core.Graph, root uint32, w WeightFunc) (*SSSPResult,
 		}
 
 		// Route improvements to owners as two aligned streams.
-		p := ctx.Size()
-		counts := make([]uint64, p)
+		for i := range counts {
+			counts[i] = 0
+		}
 		for _, gid := range msgGids {
 			counts[ownerOfGid(g, gid)]++
 		}
-		offsets, total := par.ExclusivePrefixSum(counts)
-		sendGid := make([]uint32, total)
-		sendDist := make([]uint64, total)
-		cur := append([]uint64(nil), offsets[:p]...)
+		var total uint64
+		for d, c := range counts {
+			cur[d] = total
+			intCounts[d] = int(c)
+			total += c
+		}
+		if uint64(cap(sendGid)) < total {
+			sendGid = make([]uint32, total)
+			sendDist = make([]uint64, total)
+		}
+		sendGid, sendDist = sendGid[:total], sendDist[:total]
 		for i, gid := range msgGids {
 			d := ownerOfGid(g, gid)
 			sendGid[cur[d]] = gid
 			sendDist[cur[d]] = msgDists[i]
 			cur[d]++
 		}
-		intCounts := make([]int, p)
-		for d, c := range counts {
-			intCounts[d] = int(c)
-		}
-		recvGid, _, err := comm.Alltoallv(ctx.Comm, sendGid, intCounts)
+		recvGid, recvGidCounts, err = comm.AlltoallvInto(ctx.Comm, sendGid, intCounts, recvGid, recvGidCounts)
 		if err != nil {
 			return nil, err
 		}
-		recvDist, _, err := comm.Alltoallv(ctx.Comm, sendDist, intCounts)
+		recvDist, recvDistCounts, err = comm.AlltoallvInto(ctx.Comm, sendDist, intCounts, recvDist, recvDistCounts)
 		if err != nil {
 			return nil, err
 		}

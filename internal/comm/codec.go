@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"unsafe"
 )
 
 // Scalar enumerates the element types the collectives can move. The set is
@@ -12,6 +13,21 @@ import (
 type Scalar interface {
 	uint8 | uint16 | uint32 | uint64 | int32 | int64 | float32 | float64
 }
+
+// The wire format is little-endian. On little-endian hosts (every platform
+// this runs on in practice) the in-memory layout of a []T already *is* the
+// wire format, so the codec reinterprets the slice as bytes and moves it
+// with one bulk copy instead of one binary.LittleEndian call per element.
+// The portable per-element path remains for big-endian hosts and is
+// selected once at init; both transports see identical bytes either way.
+var hostLittleEndian = func() bool {
+	var x uint16 = 0x0102
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// bulkCodec selects the reinterpret-and-copy fast path. Tests force both
+// values to cover the portable fallback on little-endian CI hosts.
+var bulkCodec = hostLittleEndian
 
 // sizeOf returns the encoded size in bytes of one element of type T.
 func sizeOf[T Scalar]() int {
@@ -28,9 +44,21 @@ func sizeOf[T Scalar]() int {
 	}
 }
 
+// asBytes reinterprets vals as its underlying bytes without copying. Only
+// meaningful as wire data on little-endian hosts; callers gate on bulkCodec.
+func asBytes[T Scalar](vals []T) []byte {
+	if len(vals) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&vals[0])), len(vals)*sizeOf[T]())
+}
+
 // encodeInto appends the little-endian encoding of vals to dst and returns
 // the extended slice.
 func encodeInto[T Scalar](dst []byte, vals []T) []byte {
+	if bulkCodec {
+		return append(dst, asBytes(vals)...)
+	}
 	switch vs := any(vals).(type) {
 	case []uint8:
 		return append(dst, vs...)
@@ -66,15 +94,15 @@ func encodeInto[T Scalar](dst []byte, vals []T) []byte {
 	return dst
 }
 
-// decode parses b (a whole number of little-endian elements) into a []T.
-func decode[T Scalar](b []byte) ([]T, error) {
-	es := sizeOf[T]()
-	if len(b)%es != 0 {
-		return nil, fmt.Errorf("comm: message length %d not a multiple of element size %d", len(b), es)
+// decodeInto parses b into dst; len(b) must equal len(dst)*sizeOf[T]().
+// Decoding into caller-retained storage is what keeps the steady-state
+// collectives allocation-free.
+func decodeInto[T Scalar](dst []T, b []byte) {
+	if bulkCodec {
+		copy(asBytes(dst), b)
+		return
 	}
-	n := len(b) / es
-	out := make([]T, n)
-	switch vs := any(out).(type) {
+	switch vs := any(dst).(type) {
 	case []uint8:
 		copy(vs, b)
 	case []uint16:
@@ -106,5 +134,15 @@ func decode[T Scalar](b []byte) ([]T, error) {
 			vs[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
 		}
 	}
+}
+
+// decode parses b (a whole number of little-endian elements) into a []T.
+func decode[T Scalar](b []byte) ([]T, error) {
+	es := sizeOf[T]()
+	if len(b)%es != 0 {
+		return nil, fmt.Errorf("comm: message length %d not a multiple of element size %d", len(b), es)
+	}
+	out := make([]T, len(b)/es)
+	decodeInto(out, b)
 	return out, nil
 }

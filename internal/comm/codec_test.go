@@ -1,0 +1,214 @@
+package comm
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// codecPaths lists the codec implementations reachable on this host: the
+// portable per-element path always, the bulk reinterpret path only on
+// little-endian hosts (where its output is defined to match the wire).
+func codecPaths() []bool {
+	if hostLittleEndian {
+		return []bool{false, true}
+	}
+	return []bool{false}
+}
+
+// portableBytes encodes vals with the portable path regardless of the
+// current selection, giving a path-independent reference encoding. Bitwise
+// (float NaN payloads survive), so it doubles as the equality check.
+func portableBytes[T Scalar](vals []T) []byte {
+	saved := bulkCodec
+	bulkCodec = false
+	defer func() { bulkCodec = saved }()
+	return encodeInto(nil, vals)
+}
+
+// checkCodecCross encodes with one path and decodes with another; every
+// combination must reproduce the input bit-for-bit.
+func checkCodecCross[T Scalar](t *testing.T, vals []T, encBulk, decBulk bool) {
+	t.Helper()
+	saved := bulkCodec
+	defer func() { bulkCodec = saved }()
+
+	bulkCodec = encBulk
+	enc := encodeInto(nil, vals)
+	if want := len(vals) * sizeOf[T](); len(enc) != want {
+		t.Fatalf("encodeInto(%T, bulk=%v): %d bytes, want %d", vals, encBulk, len(enc), want)
+	}
+
+	bulkCodec = decBulk
+	got := make([]T, len(vals))
+	decodeInto(got, enc)
+	if !bytes.Equal(portableBytes(got), portableBytes(vals)) {
+		t.Fatalf("round trip %T enc(bulk=%v)/dec(bulk=%v): got %v, want %v",
+			vals, encBulk, decBulk, got, vals)
+	}
+
+	// The allocating decode must agree with decodeInto.
+	bulkCodec = decBulk
+	got2, err := decode[T](enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !bytes.Equal(portableBytes(got2), portableBytes(vals)) {
+		t.Fatalf("decode %T enc(bulk=%v)/dec(bulk=%v): got %v, want %v",
+			vals, encBulk, decBulk, got2, vals)
+	}
+}
+
+// checkCodecType drives random slices of one element type through every
+// encode-path x decode-path combination.
+func checkCodecType[T Scalar](t *testing.T, r *rand.Rand, gen func(*rand.Rand) T) {
+	t.Helper()
+	for _, n := range []int{0, 1, 3, 17, 1024} {
+		vals := make([]T, n)
+		for i := range vals {
+			vals[i] = gen(r)
+		}
+		for _, encBulk := range codecPaths() {
+			for _, decBulk := range codecPaths() {
+				checkCodecCross(t, vals, encBulk, decBulk)
+			}
+		}
+	}
+}
+
+// TestCodecCrossPath is the property test: for all eight Scalar types, the
+// bulk and portable codec paths are interchangeable — bytes produced by
+// either decode identically under either. Float values are drawn from raw
+// bit patterns so NaNs and infinities are covered.
+func TestCodecCrossPath(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	checkCodecType(t, r, func(r *rand.Rand) uint8 { return uint8(r.Uint32()) })
+	checkCodecType(t, r, func(r *rand.Rand) uint16 { return uint16(r.Uint32()) })
+	checkCodecType(t, r, func(r *rand.Rand) uint32 { return r.Uint32() })
+	checkCodecType(t, r, func(r *rand.Rand) uint64 { return r.Uint64() })
+	checkCodecType(t, r, func(r *rand.Rand) int32 { return int32(r.Uint32()) })
+	checkCodecType(t, r, func(r *rand.Rand) int64 { return int64(r.Uint64()) })
+	checkCodecType(t, r, func(r *rand.Rand) float32 { return math.Float32frombits(r.Uint32()) })
+	checkCodecType(t, r, func(r *rand.Rand) float64 { return math.Float64frombits(r.Uint64()) })
+}
+
+// fuzzCodecType checks decode-then-encode is the identity on wire bytes for
+// one element type, on every codec path.
+func fuzzCodecType[T Scalar](t *testing.T, data []byte) {
+	es := sizeOf[T]()
+	data = data[:len(data)/es*es]
+	saved := bulkCodec
+	defer func() { bulkCodec = saved }()
+	for _, path := range codecPaths() {
+		bulkCodec = path
+		vals, err := decode[T](data)
+		if err != nil {
+			t.Fatalf("decode(bulk=%v): %v", path, err)
+		}
+		if out := encodeInto(nil, vals); !bytes.Equal(out, data) {
+			t.Errorf("decode/encode(bulk=%v) not identity for %T: got %x, want %x",
+				path, vals, out, data)
+		}
+	}
+}
+
+// FuzzCodecRoundTrip feeds arbitrary wire bytes through decode-then-encode
+// for all eight Scalar types on both codec paths.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add([]byte{0xff, 0x00, 0x80, 0x7f, 0xc0, 0xde, 0xad, 0xbe})
+	f.Add(bytes.Repeat([]byte{0xa5}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzCodecType[uint8](t, data)
+		fuzzCodecType[uint16](t, data)
+		fuzzCodecType[uint32](t, data)
+		fuzzCodecType[uint64](t, data)
+		fuzzCodecType[int32](t, data)
+		fuzzCodecType[int64](t, data)
+		fuzzCodecType[float32](t, data)
+		fuzzCodecType[float64](t, data)
+	})
+}
+
+// noBorrow wraps a transport and hides its BorrowReader capability, forcing
+// the communicator onto the owned-copy fallback path. Abort is forwarded so
+// failing ranks still wake their peers.
+type noBorrow struct{ Transport }
+
+func (n noBorrow) Abort() {
+	if a, ok := n.Transport.(aborter); ok {
+		a.Abort()
+	}
+}
+
+// TestCollectivesWithoutBorrow runs the collective suite over a transport
+// that does not expose borrowed reads, checking the fallback data path
+// produces the same results as the borrowed one.
+func TestCollectivesWithoutBorrow(t *testing.T) {
+	const p = 4
+	trs := NewLocalGroup(p)
+	comms := make([]*Comm, p)
+	for r := range trs {
+		comms[r] = New(noBorrow{trs[r]})
+		if comms[r].br != nil {
+			t.Fatal("noBorrow wrapper still advertises BorrowReader")
+		}
+	}
+	err := RunOn(comms, func(c *Comm) error {
+		rank, size := c.Rank(), c.Size()
+		send := make([]uint32, 3*size)
+		counts := make([]int, size)
+		for d := 0; d < size; d++ {
+			counts[d] = 3
+			for j := 0; j < 3; j++ {
+				send[3*d+j] = uint32(rank*100 + d*10 + j)
+			}
+		}
+		var recv []uint32
+		var recvCounts []int
+		for iter := 0; iter < 3; iter++ {
+			var err error
+			recv, recvCounts, err = AlltoallvInto(c, send, counts, recv, recvCounts)
+			if err != nil {
+				return err
+			}
+			for src := 0; src < size; src++ {
+				if recvCounts[src] != 3 {
+					return fmt.Errorf("recvCounts[%d] = %d, want 3", src, recvCounts[src])
+				}
+				for j := 0; j < 3; j++ {
+					if got, want := recv[3*src+j], uint32(src*100+rank*10+j); got != want {
+						return fmt.Errorf("recv[%d] = %d, want %d", 3*src+j, got, want)
+					}
+				}
+			}
+		}
+		all, err := Allgather(c, uint64(rank+1))
+		if err != nil {
+			return err
+		}
+		for i, v := range all {
+			if v != uint64(i+1) {
+				return fmt.Errorf("allgather[%d] = %d, want %d", i, v, i+1)
+			}
+		}
+		val, payload, winRank, err := MaxLoc(c, uint64(rank), uint64(rank*7))
+		if err != nil {
+			return err
+		}
+		if val != uint64(size-1) || winRank != size-1 || payload != uint64((size-1)*7) {
+			return fmt.Errorf("MaxLoc = (%d, %d, %d), want (%d, %d, %d)",
+				val, payload, winRank, size-1, (size-1)*7, size-1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trs {
+		tr.Close()
+	}
+}

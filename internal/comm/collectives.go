@@ -1,6 +1,9 @@
 package comm
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // Op identifies a reduction operator for Allreduce and scans.
 type Op int
@@ -38,45 +41,94 @@ func apply[T Scalar](op Op, a, b T) T {
 // send[offset[r] : offset[r]+counts[r]] where offset is the prefix sum of
 // counts), and the call returns the concatenated segments received from
 // every rank along with the per-source counts.
+//
+// The returned slices are freshly allocated; iterative callers should use
+// AlltoallvInto with retained scratch instead.
 func Alltoallv[T Scalar](c *Comm, send []T, counts []int) (recv []T, recvCounts []int, err error) {
+	return AlltoallvInto(c, send, counts, nil, nil)
+}
+
+// AlltoallvInto is Alltoallv with caller-retained result storage: recv and
+// recvCounts are reused when their capacity suffices and reallocated
+// otherwise, so a loop that feeds each call's results back in allocates
+// nothing once warm. Three further copies are gone relative to the naive
+// path: the segment addressed to the caller's own rank skips the codec and
+// the transport entirely (one straight copy from send to recv), encode
+// buffers are retained on the Comm, and on borrowed-read transports the
+// incoming bytes are decoded in place rather than copied out first.
+func AlltoallvInto[T Scalar](c *Comm, send []T, counts []int, recv []T, recvCounts []int) ([]T, []int, error) {
 	size := c.Size()
+	self := c.Rank()
 	if len(counts) != size {
 		return nil, nil, fmt.Errorf("comm: Alltoallv counts has %d entries for %d ranks", len(counts), size)
 	}
-	out := make([][]byte, size)
+	es := sizeOf[T]()
+	out := c.sendBuffers()
 	pos := 0
+	selfLo, selfHi := 0, 0
 	for r := 0; r < size; r++ {
 		n := counts[r]
 		if n < 0 || pos+n > len(send) {
 			return nil, nil, fmt.Errorf("comm: Alltoallv counts sum beyond len(send)=%d", len(send))
 		}
-		out[r] = encodeInto(nil, send[pos:pos+n])
+		if r == self {
+			// Self fast path: this segment never touches the codec or the
+			// transport; it is copied straight into recv below.
+			selfLo, selfHi = pos, pos+n
+		} else {
+			c.outBufs[r] = encodeInto(c.outBufs[r][:0], send[pos:pos+n])
+			out[r] = c.outBufs[r]
+		}
 		pos += n
 	}
 	if pos != len(send) {
 		return nil, nil, fmt.Errorf("comm: Alltoallv counts sum %d != len(send) %d", pos, len(send))
 	}
-	in, err := c.exchange(out)
+
+	in, err := c.beginExchange(out)
 	if err != nil {
 		return nil, nil, err
 	}
-	recvCounts = make([]int, size)
+	if cap(recvCounts) >= size {
+		recvCounts = recvCounts[:size]
+	} else {
+		recvCounts = make([]int, size)
+	}
+	var derr error
 	total := 0
-	es := sizeOf[T]()
 	for r, m := range in {
-		if len(m)%es != 0 {
-			return nil, nil, fmt.Errorf("comm: Alltoallv message from rank %d has ragged length %d", r, len(m))
+		if r == self {
+			recvCounts[r] = selfHi - selfLo
+		} else if len(m)%es != 0 {
+			derr = fmt.Errorf("comm: Alltoallv message from rank %d has ragged length %d", r, len(m))
+			break
+		} else {
+			recvCounts[r] = len(m) / es
 		}
-		recvCounts[r] = len(m) / es
 		total += recvCounts[r]
 	}
-	recv = make([]T, 0, total)
-	for _, m := range in {
-		seg, derr := decode[T](m)
-		if derr != nil {
-			return nil, nil, derr
+	if derr == nil {
+		if cap(recv) >= total {
+			recv = recv[:total]
+		} else {
+			recv = make([]T, total)
 		}
-		recv = append(recv, seg...)
+		off := 0
+		for r := 0; r < size; r++ {
+			n := recvCounts[r]
+			if r == self {
+				copy(recv[off:off+n], send[selfLo:selfHi])
+			} else {
+				decodeInto(recv[off:off+n], in[r])
+			}
+			off += n
+		}
+	}
+	if err := c.endExchange(out, in); err != nil && derr == nil {
+		derr = err
+	}
+	if derr != nil {
+		return nil, nil, derr
 	}
 	return recv, recvCounts, nil
 }
@@ -95,26 +147,51 @@ func Alltoall[T Scalar](c *Comm, send []T) ([]T, error) {
 	return recv, err
 }
 
+// broadcastBuffers encodes vals once into the retained scratch and points
+// every off-rank slot of the header at that one buffer (the self slot never
+// ships; its unused encode buffer is the natural home for the shared
+// message).
+func broadcastBuffers[T Scalar](c *Comm, vals []T) [][]byte {
+	self := c.Rank()
+	out := c.sendBuffers()
+	c.outBufs[self] = encodeInto(c.outBufs[self][:0], vals)
+	for r := range out {
+		if r != self {
+			out[r] = c.outBufs[self]
+		}
+	}
+	return out
+}
+
 // Allgather distributes each rank's value to every rank; the result is
 // indexed by rank.
 func Allgather[T Scalar](c *Comm, v T) ([]T, error) {
 	size := c.Size()
-	msg := encodeInto(nil, []T{v})
-	out := make([][]byte, size)
-	for r := range out {
-		out[r] = msg
-	}
-	in, err := c.exchange(out)
+	self := c.Rank()
+	es := sizeOf[T]()
+	vv := [1]T{v}
+	out := broadcastBuffers(c, vv[:])
+	in, err := c.beginExchange(out)
 	if err != nil {
 		return nil, err
 	}
 	res := make([]T, size)
+	var derr error
 	for r, m := range in {
-		vals, derr := decode[T](m)
-		if derr != nil || len(vals) != 1 {
-			return nil, fmt.Errorf("comm: Allgather bad message from rank %d", r)
+		if r == self {
+			res[r] = v
+		} else if len(m) != es {
+			derr = fmt.Errorf("comm: Allgather bad message from rank %d", r)
+			break
+		} else {
+			decodeInto(res[r:r+1], m)
 		}
-		res[r] = vals[0]
+	}
+	if err := c.endExchange(out, in); err != nil && derr == nil {
+		derr = err
+	}
+	if derr != nil {
+		return nil, derr
 	}
 	return res, nil
 }
@@ -123,23 +200,45 @@ func Allgather[T Scalar](c *Comm, v T) ([]T, error) {
 // how many elements each rank contributed.
 func Allgatherv[T Scalar](c *Comm, vals []T) (all []T, counts []int, err error) {
 	size := c.Size()
-	msg := encodeInto(nil, vals)
-	out := make([][]byte, size)
-	for r := range out {
-		out[r] = msg
-	}
-	in, err := c.exchange(out)
+	self := c.Rank()
+	es := sizeOf[T]()
+	out := broadcastBuffers(c, vals)
+	in, err := c.beginExchange(out)
 	if err != nil {
 		return nil, nil, err
 	}
 	counts = make([]int, size)
+	var derr error
+	total := 0
 	for r, m := range in {
-		seg, derr := decode[T](m)
-		if derr != nil {
-			return nil, nil, derr
+		if r == self {
+			counts[r] = len(vals)
+		} else if len(m)%es != 0 {
+			derr = fmt.Errorf("comm: Allgatherv message from rank %d has ragged length %d", r, len(m))
+			break
+		} else {
+			counts[r] = len(m) / es
 		}
-		counts[r] = len(seg)
-		all = append(all, seg...)
+		total += counts[r]
+	}
+	if derr == nil {
+		all = make([]T, total)
+		off := 0
+		for r := 0; r < size; r++ {
+			n := counts[r]
+			if r == self {
+				copy(all[off:off+n], vals)
+			} else {
+				decodeInto(all[off:off+n], in[r])
+			}
+			off += n
+		}
+	}
+	if err := c.endExchange(out, in); err != nil && derr == nil {
+		derr = err
+	}
+	if derr != nil {
+		return nil, nil, derr
 	}
 	return all, counts, nil
 }
@@ -149,24 +248,41 @@ func Allgatherv[T Scalar](c *Comm, vals []T) (all []T, counts []int, err error) 
 // (ignored) local slice or nil.
 func Bcast[T Scalar](c *Comm, vals []T, root int) ([]T, error) {
 	size := c.Size()
+	self := c.Rank()
 	if root < 0 || root >= size {
 		return nil, fmt.Errorf("comm: Bcast root %d out of range", root)
 	}
-	out := make([][]byte, size)
-	if c.Rank() == root {
-		msg := encodeInto(nil, vals)
-		for r := range out {
-			out[r] = msg
-		}
+	var out [][]byte
+	if self == root {
+		out = broadcastBuffers(c, vals)
+	} else {
+		out = c.sendBuffers()
 	}
-	in, err := c.exchange(out)
+	in, err := c.beginExchange(out)
 	if err != nil {
 		return nil, err
 	}
-	if c.Rank() == root {
+	var res []T
+	var derr error
+	if self != root {
+		es := sizeOf[T]()
+		if len(in[root])%es != 0 {
+			derr = fmt.Errorf("comm: message length %d not a multiple of element size %d", len(in[root]), es)
+		} else {
+			res = make([]T, len(in[root])/es)
+			decodeInto(res, in[root])
+		}
+	}
+	if err := c.endExchange(out, in); err != nil && derr == nil {
+		derr = err
+	}
+	if derr != nil {
+		return nil, derr
+	}
+	if self == root {
 		return vals, nil
 	}
-	return decode[T](in[root])
+	return res, nil
 }
 
 // Allreduce combines one value per rank with op and returns the result on
@@ -226,24 +342,54 @@ func ExScan[T Scalar](c *Comm, v T, op Op, id T) (T, error) {
 // MaxLoc returns the globally maximal value together with its attached
 // payload (e.g. a vertex id) and owning rank. Ties break toward the lowest
 // rank, so every rank computes the same winner.
+//
+// Value and payload travel as one fused (value, payload) message, so MaxLoc
+// costs a single transport round — half the barriers of the two
+// back-to-back Allgathers it replaces (it sits on SCC's per-round pivot
+// selection).
 func MaxLoc[T Scalar](c *Comm, v T, payload uint64) (maxVal T, maxPayload uint64, maxRank int, err error) {
-	vals, err := Allgather(c, v)
-	if err != nil {
-		var z T
-		return z, 0, 0, err
-	}
-	payloads, err := Allgather(c, payload)
-	if err != nil {
-		var z T
-		return z, 0, 0, err
-	}
-	maxRank = 0
-	maxVal = vals[0]
-	for r := 1; r < len(vals); r++ {
-		if vals[r] > maxVal {
-			maxVal = vals[r]
-			maxRank = r
+	self := c.Rank()
+	es := sizeOf[T]()
+	vv := [1]T{v}
+	out := c.sendBuffers()
+	buf := encodeInto(c.outBufs[self][:0], vv[:])
+	buf = binary.LittleEndian.AppendUint64(buf, payload)
+	c.outBufs[self] = buf
+	for r := range out {
+		if r != self {
+			out[r] = buf
 		}
 	}
-	return maxVal, payloads[maxRank], maxRank, nil
+	in, err := c.beginExchange(out)
+	if err != nil {
+		var z T
+		return z, 0, 0, err
+	}
+	maxRank = -1
+	var derr error
+	for r, m := range in {
+		var val T
+		var pl uint64
+		if r == self {
+			val, pl = v, payload
+		} else if len(m) != es+8 {
+			derr = fmt.Errorf("comm: MaxLoc bad message from rank %d", r)
+			break
+		} else {
+			var one [1]T
+			decodeInto(one[:], m[:es])
+			val, pl = one[0], binary.LittleEndian.Uint64(m[es:])
+		}
+		if maxRank < 0 || val > maxVal {
+			maxVal, maxPayload, maxRank = val, pl, r
+		}
+	}
+	if err := c.endExchange(out, in); err != nil && derr == nil {
+		derr = err
+	}
+	if derr != nil {
+		var z T
+		return z, 0, 0, derr
+	}
+	return maxVal, maxPayload, maxRank, nil
 }

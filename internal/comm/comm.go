@@ -8,9 +8,23 @@ import (
 // breakdown the paper reports in Figure 3 (computation / communication /
 // idle). A Comm must be used from a single goroutine.
 type Comm struct {
-	tr    Transport
+	tr Transport
+	// br is non-nil when tr supports zero-copy borrowed reads; detected
+	// once here so the hot path pays no type assertion per exchange.
+	br    BorrowReader
 	stats Stats
 	mark  time.Time
+
+	// Retained collective scratch (steady-state zero allocation): outBufs
+	// are the per-destination encode buffers, outMsgs is the header slice
+	// handed to the transport each round. Both are reused across every
+	// collective on this communicator.
+	outBufs [][]byte
+	outMsgs [][]byte
+
+	// In-flight exchange bookkeeping for the begin/end pair.
+	xstart time.Time
+	xwait  time.Duration
 }
 
 // Stats is the cumulative time and volume breakdown of a measured region.
@@ -35,7 +49,9 @@ func (s Stats) Total() time.Duration { return s.Comp + s.CommT + s.Idle }
 
 // New wraps a transport in a communicator and starts its measurement clock.
 func New(tr Transport) *Comm {
-	return &Comm{tr: tr, mark: time.Now()}
+	c := &Comm{tr: tr, mark: time.Now()}
+	c.br, _ = tr.(BorrowReader)
+	return c
 }
 
 // Rank returns this rank's id.
@@ -66,17 +82,70 @@ func (c *Comm) TakeStats() Stats {
 	return c.stats
 }
 
-// exchange runs one transport round, attributing elapsed time to the
-// breakdown: everything since the last collective is Comp, in-call blocked
-// time is Idle, and the remainder of the call is CommT.
-func (c *Comm) exchange(out [][]byte) ([][]byte, error) {
+// sendBuffers returns the retained message-header slice, cleared, sized to
+// the group. Collectives encode into c.outBufs[r] (via encodeInto on the
+// truncated buffer, storing the possibly-grown result back) and point the
+// header at it; slots left nil send nothing.
+func (c *Comm) sendBuffers() [][]byte {
+	size := c.Size()
+	if len(c.outMsgs) != size {
+		c.outBufs = make([][]byte, size)
+		c.outMsgs = make([][]byte, size)
+	}
+	for i := range c.outMsgs {
+		c.outMsgs[i] = nil
+	}
+	return c.outMsgs
+}
+
+// beginExchange opens one transport round, attributing time since the last
+// collective to Comp. The returned messages are borrowed when the transport
+// supports it: the caller must finish reading them, then call endExchange
+// (with the same out and in) exactly once. On error the round is already
+// closed out and endExchange must not be called.
+func (c *Comm) beginExchange(out [][]byte) ([][]byte, error) {
 	start := time.Now()
 	c.stats.Comp += start.Sub(c.mark)
+	c.xstart = start
 
-	in, wait, err := c.tr.Exchange(out)
+	var in [][]byte
+	var err error
+	if c.br != nil {
+		in, c.xwait, err = c.br.BeginBorrow(out)
+	} else {
+		in, c.xwait, err = c.tr.Exchange(out)
+	}
+	if err != nil {
+		c.settle(nil, nil)
+		return nil, err
+	}
+	return in, nil
+}
 
+// endExchange completes the round opened by beginExchange: it releases
+// borrowed buffers (running the closing synchronization) and folds timing
+// and volume into the breakdown.
+func (c *Comm) endExchange(out, in [][]byte) error {
+	var err error
+	if c.br != nil {
+		var w time.Duration
+		w, err = c.br.EndBorrow()
+		c.xwait += w
+	}
+	if err != nil {
+		c.settle(nil, nil)
+		return err
+	}
+	c.settle(out, in)
+	return nil
+}
+
+// settle closes out the in-flight round's timing, and (on success, when out
+// and in are the round's messages) its off-rank byte volume.
+func (c *Comm) settle(out, in [][]byte) {
 	end := time.Now()
-	elapsed := end.Sub(start)
+	elapsed := end.Sub(c.xstart)
+	wait := c.xwait
 	if wait > elapsed {
 		wait = elapsed
 	}
@@ -84,9 +153,7 @@ func (c *Comm) exchange(out [][]byte) ([][]byte, error) {
 	c.stats.CommT += elapsed - wait
 	c.stats.Exchanges++
 	c.mark = end
-	if err != nil {
-		return nil, err
-	}
+	c.xwait = 0
 	self := c.Rank()
 	for i, m := range out {
 		if i != self {
@@ -98,11 +165,38 @@ func (c *Comm) exchange(out [][]byte) ([][]byte, error) {
 			c.stats.BytesRecv += uint64(len(m))
 		}
 	}
-	return in, nil
+}
+
+// exchange runs one transport round and returns caller-owned messages
+// (copying out of borrowed buffers when the transport lends them). The
+// value-moving collectives use the begin/end pair directly to skip this
+// copy; exchange serves the small control-plane collectives.
+func (c *Comm) exchange(out [][]byte) ([][]byte, error) {
+	in, err := c.beginExchange(out)
+	if err != nil {
+		return nil, err
+	}
+	res := in
+	if c.br != nil {
+		res = make([][]byte, len(in))
+		for i, m := range in {
+			cp := make([]byte, len(m))
+			copy(cp, m)
+			res[i] = cp
+		}
+	}
+	if err := c.endExchange(out, in); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // Barrier blocks until every rank has called Barrier.
 func (c *Comm) Barrier() error {
-	_, err := c.exchange(make([][]byte, c.Size()))
-	return err
+	out := c.sendBuffers()
+	in, err := c.beginExchange(out)
+	if err != nil {
+		return err
+	}
+	return c.endExchange(out, in)
 }

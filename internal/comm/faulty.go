@@ -15,6 +15,11 @@ var ErrInjected = errors.New("comm: injected fault")
 // deadlock. It exists for failure-injection tests: every collective-using
 // code path must surface a clean error when the fabric fails mid-run,
 // which is how real deployments die.
+//
+// FaultyTransport deliberately does not forward the wrapped transport's
+// BorrowReader capability (the embedded interface hides it): every
+// collective on a faulty transport goes through Exchange, so FailAt counts
+// rounds exactly regardless of which path the code under test would take.
 type FaultyTransport struct {
 	Transport
 	// FailAt is the 1-based Exchange call that fails; 0 disables.

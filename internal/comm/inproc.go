@@ -32,6 +32,9 @@ type localWorld struct {
 type LocalTransport struct {
 	w    *localWorld
 	rank int
+	// inViews is the retained header slice handed to BeginBorrow callers;
+	// its entries alias the senders' boards and are rewritten every round.
+	inViews [][]byte
 }
 
 // NewLocalGroup creates size ranks sharing one in-process world and returns
@@ -101,34 +104,56 @@ func (t *LocalTransport) Abort() {
 // callers may immediately reuse their send buffers, mirroring MPI_Alltoallv
 // semantics.
 func (t *LocalTransport) Exchange(out [][]byte) ([][]byte, time.Duration, error) {
-	w := t.w
-	if len(out) != w.size {
-		return nil, 0, fmt.Errorf("comm: Exchange with %d messages for %d ranks", len(out), w.size)
-	}
-	// Publish our outgoing messages, then wait for everyone to publish.
-	w.boards[t.rank] = out
-	wait, err := w.barrier()
+	// Publish our outgoing messages, wait for everyone to publish, then copy
+	// our column of the board: in[i] is sender i's message to us. The closing
+	// barrier keeps any rank from reusing or republishing its board while a
+	// peer is still copying.
+	views, wait, err := t.BeginBorrow(out)
 	if err != nil {
 		return nil, wait, err
 	}
-
-	// Copy our column of the board: in[i] is sender i's message to us.
-	in := make([][]byte, w.size)
-	for i := 0; i < w.size; i++ {
-		msg := w.boards[i][t.rank]
+	in := make([][]byte, t.w.size)
+	for i, msg := range views {
 		cp := make([]byte, len(msg))
 		copy(cp, msg)
 		in[i] = cp
 	}
-
-	// Wait for everyone to finish copying before any rank can reuse or
-	// republish its board in a subsequent round.
-	w2, err := w.barrier()
+	w2, err := t.EndBorrow()
 	wait += w2
 	if err != nil {
 		return nil, wait, err
 	}
 	return in, wait, nil
+}
+
+// BeginBorrow implements BorrowReader: it publishes out, waits for every
+// rank to publish, and returns direct views of the senders' boards — no
+// copy at all. Between the two barriers all ranks only read the boards, so
+// concurrent borrowed reads are safe; EndBorrow's barrier keeps any rank
+// from republishing while a peer is still reading.
+func (t *LocalTransport) BeginBorrow(out [][]byte) ([][]byte, time.Duration, error) {
+	w := t.w
+	if len(out) != w.size {
+		return nil, 0, fmt.Errorf("comm: Exchange with %d messages for %d ranks", len(out), w.size)
+	}
+	w.boards[t.rank] = out
+	wait, err := w.barrier()
+	if err != nil {
+		return nil, wait, err
+	}
+	if t.inViews == nil {
+		t.inViews = make([][]byte, w.size)
+	}
+	for i := 0; i < w.size; i++ {
+		t.inViews[i] = w.boards[i][t.rank]
+	}
+	return t.inViews, wait, nil
+}
+
+// EndBorrow implements BorrowReader: the closing barrier after which send
+// boards may be reused and borrowed views are dead.
+func (t *LocalTransport) EndBorrow() (time.Duration, error) {
+	return t.w.barrier()
 }
 
 // Close implements Transport. In-process transports hold no resources.

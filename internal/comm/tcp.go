@@ -29,6 +29,13 @@ type TCPTransport struct {
 	ln    net.Listener
 	seq   uint64
 
+	// Retained receive storage for borrowed reads: inBufs holds one
+	// reusable payload buffer per peer, inViews the header slice handed to
+	// BeginBorrow callers. Reused only at the next BeginBorrow, which the
+	// borrow contract orders after EndBorrow.
+	inBufs  [][]byte
+	inViews [][]byte
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -174,17 +181,45 @@ func (t *TCPTransport) Size() int { return t.size }
 // completing local sends and completing all receives — the portion spent
 // blocked on slower peers.
 func (t *TCPTransport) Exchange(out [][]byte) ([][]byte, time.Duration, error) {
+	return t.exchange(out, false)
+}
+
+// BeginBorrow implements BorrowReader: the same frame exchange, but
+// incoming payloads land in the transport's retained per-peer buffers and
+// the self slot aliases the caller's own message — no steady-state
+// allocation and no self copy.
+func (t *TCPTransport) BeginBorrow(out [][]byte) ([][]byte, time.Duration, error) {
+	return t.exchange(out, true)
+}
+
+// EndBorrow implements BorrowReader. TCP receive buffers are private to
+// this transport, so no closing synchronization is needed; they stay valid
+// until the next BeginBorrow.
+func (t *TCPTransport) EndBorrow() (time.Duration, error) { return 0, nil }
+
+func (t *TCPTransport) exchange(out [][]byte, reuse bool) ([][]byte, time.Duration, error) {
 	if len(out) != t.size {
 		return nil, 0, fmt.Errorf("comm: Exchange with %d messages for %d ranks", len(out), t.size)
 	}
 	t.seq++
 	seq := t.seq
 
-	in := make([][]byte, t.size)
-	// Self-delivery does not touch the network.
-	self := make([]byte, len(out[t.rank]))
-	copy(self, out[t.rank])
-	in[t.rank] = self
+	var in [][]byte
+	if reuse {
+		if t.inViews == nil {
+			t.inViews = make([][]byte, t.size)
+			t.inBufs = make([][]byte, t.size)
+		}
+		in = t.inViews
+		// Self-delivery is a borrowed alias of the caller's own message.
+		in[t.rank] = out[t.rank]
+	} else {
+		in = make([][]byte, t.size)
+		// Self-delivery does not touch the network.
+		self := make([]byte, len(out[t.rank]))
+		copy(self, out[t.rank])
+		in[t.rank] = self
+	}
 
 	var (
 		wg       sync.WaitGroup
@@ -218,7 +253,11 @@ func (t *TCPTransport) Exchange(out [][]byte) ([][]byte, time.Duration, error) {
 
 		go func(peer int) { // receiver
 			defer wg.Done()
-			payload, gotSeq, err := readFrame(t.peers[peer])
+			var buf []byte
+			if reuse {
+				buf = t.inBufs[peer]
+			}
+			payload, gotSeq, err := readFrame(t.peers[peer], buf)
 			if err != nil {
 				fail(fmt.Errorf("comm: rank %d recv from %d: %w", t.rank, peer, err))
 				return
@@ -226,6 +265,9 @@ func (t *TCPTransport) Exchange(out [][]byte) ([][]byte, time.Duration, error) {
 			if gotSeq != seq {
 				fail(fmt.Errorf("comm: rank %d recv from %d: sequence %d, want %d", t.rank, peer, gotSeq, seq))
 				return
+			}
+			if reuse {
+				t.inBufs[peer] = payload
 			}
 			in[peer] = payload
 		}(peer)
@@ -266,7 +308,9 @@ func writeFrame(conn net.Conn, seq uint64, payload []byte) error {
 	return nil
 }
 
-func readFrame(conn net.Conn) (payload []byte, seq uint64, err error) {
+// readFrame reads one length-framed message, receiving the payload into buf
+// when its capacity suffices and allocating otherwise.
+func readFrame(conn net.Conn, buf []byte) (payload []byte, seq uint64, err error) {
 	var hdr [20]byte
 	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 		return nil, 0, err
@@ -279,7 +323,11 @@ func readFrame(conn net.Conn) (payload []byte, seq uint64, err error) {
 	if n > maxFrameLen {
 		return nil, 0, fmt.Errorf("frame length %d exceeds limit", n)
 	}
-	payload = make([]byte, n)
+	if uint64(cap(buf)) >= n {
+		payload = buf[:n]
+	} else {
+		payload = make([]byte, n)
+	}
 	if _, err := io.ReadFull(conn, payload); err != nil {
 		return nil, 0, err
 	}

@@ -41,3 +41,29 @@ type Transport interface {
 	// not be used.
 	Close() error
 }
+
+// BorrowReader is the optional zero-copy capability of a transport: an
+// exchange split into a begin/end pair whose incoming messages are borrowed
+// rather than owned. Between BeginBorrow and EndBorrow the caller may read
+// the returned slices in place (the in-process transport hands out direct
+// views of the senders' publish boards; the TCP transport hands out its
+// retained receive buffers), letting collectives decode straight into typed
+// result storage without the intermediate copy Exchange must make.
+//
+// Contract:
+//   - The slices returned by BeginBorrow (and the header slice holding
+//     them) are transport-owned and valid only until EndBorrow returns.
+//   - out is borrowed by the transport for the same window: the caller
+//     must not mutate any out[i] until EndBorrow returns.
+//   - EndBorrow must be called exactly once after every successful
+//     BeginBorrow (and not after a failed one); it completes the round's
+//     synchronization, so skipping it deadlocks the group.
+//
+// Comm detects the capability once at construction and uses it for every
+// collective; transports without it (and wrappers such as FaultyTransport,
+// which deliberately hides it to keep its call accounting exact) fall back
+// to the copying Exchange path.
+type BorrowReader interface {
+	BeginBorrow(out [][]byte) (in [][]byte, wait time.Duration, err error)
+	EndBorrow() (wait time.Duration, err error)
+}
