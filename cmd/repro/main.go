@@ -20,23 +20,57 @@ import (
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		scale   = flag.Float64("scale", 1.0, "workload scale multiplier (1.0 = laptop defaults)")
-		ranks   = flag.String("ranks", "1,2,4,8", "comma-separated rank counts for scaling experiments")
-		threads = flag.Int("threads", 1, "worker threads per rank")
-		seed    = flag.Uint64("seed", 0xC0FFEE, "workload seed")
-		tmp     = flag.String("tmpdir", "", "directory for temporary edge files")
+		scale    = flag.Float64("scale", 1.0, "workload scale multiplier (1.0 = laptop defaults)")
+		ranks    = flag.String("ranks", "1,2,4,8", "comma-separated rank counts for scaling experiments")
+		threads  = flag.Int("threads", 1, "worker threads per rank")
+		seed     = flag.Uint64("seed", 0xC0FFEE, "workload seed")
+		tmp      = flag.String("tmpdir", "", "directory for temporary edge files")
+		trace    = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (also prints a per-phase table)")
+		traceCap = flag.Int("trace-cap", 0, "per-rank trace ring capacity in events (0 = default 64Ki)")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060) for the run's duration")
+		rtm      = flag.Bool("runtime-metrics", false, "dump a runtime/metrics snapshot to stderr after the run")
 	)
 	flag.Parse()
+
+	if *pprof != "" {
+		addr, stop, err := obs.StartPprof(*pprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "repro: pprof on http://%s/debug/pprof/\n", addr)
+	}
 
 	cfg := harness.Default()
 	cfg.Scale = *scale
 	cfg.Threads = *threads
 	cfg.Seed = *seed
 	cfg.TmpDir = *tmp
+	if *trace != "" {
+		cfg.Trace = obs.NewTraceSet(*traceCap)
+	}
+	defer func() {
+		if cfg.Trace == nil {
+			return
+		}
+		if err := writeTrace(*trace, cfg.Trace); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+	}()
+	defer func() {
+		if *rtm {
+			if err := obs.WriteRuntimeMetrics(os.Stderr); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			}
+		}
+	}()
 	cfg.Ranks = nil
 	for _, part := range strings.Split(*ranks, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
@@ -79,4 +113,22 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// writeTrace exports the collected timeline: Chrome trace_event JSON to
+// path, and the per-phase aggregation as a table on stdout.
+func writeTrace(path string, ts *obs.TraceSet) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChrome(f, ts.Tracers()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("== Trace: %s (load in chrome://tracing or ui.perfetto.dev) ==\n", path)
+	return obs.WritePhaseTable(os.Stdout, ts.Tracers())
 }

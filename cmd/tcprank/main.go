@@ -26,19 +26,24 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/gio"
+	"repro/internal/obs"
 	"repro/internal/partition"
 )
 
 func main() {
 	var (
-		rank    = flag.Int("rank", -1, "this process's rank (required)")
-		addrs   = flag.String("addrs", "", "comma-separated host:port per rank (required)")
-		file    = flag.String("file", "", "binary edge file on a shared filesystem")
-		rmat    = flag.String("rmat", "", "synthetic input: n,m,seed")
-		threads = flag.Int("threads", 0, "worker threads (0 = NumCPU)")
-		part    = flag.String("part", "rand", "partitioning: np, mp, rand")
-		prIters = flag.Int("pr-iters", 10, "PageRank iterations")
-		timeout = flag.Duration("timeout", 30*time.Second, "mesh dial timeout")
+		rank     = flag.Int("rank", -1, "this process's rank (required)")
+		addrs    = flag.String("addrs", "", "comma-separated host:port per rank (required)")
+		file     = flag.String("file", "", "binary edge file on a shared filesystem")
+		rmat     = flag.String("rmat", "", "synthetic input: n,m,seed")
+		threads  = flag.Int("threads", 0, "worker threads (0 = NumCPU)")
+		part     = flag.String("part", "rand", "partitioning: np, mp, rand")
+		prIters  = flag.Int("pr-iters", 10, "PageRank iterations")
+		timeout  = flag.Duration("timeout", 30*time.Second, "mesh dial timeout")
+		trace    = flag.String("trace", "", "write this rank's Chrome trace_event JSON to this file (rank id is appended before the extension)")
+		traceCap = flag.Int("trace-cap", 0, "trace ring capacity in events (0 = default 64Ki)")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address for the run's duration")
+		stats    = flag.Bool("stats", false, "print this rank's per-collective counters after the run")
 	)
 	flag.Parse()
 	addrList := strings.Split(*addrs, ",")
@@ -76,6 +81,15 @@ func main() {
 		fatal(fmt.Errorf("one of -file or -rmat is required"))
 	}
 
+	if *pprof != "" {
+		addr, stop, err := obs.StartPprof(*pprof)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "rank %d: pprof on http://%s/debug/pprof/\n", *rank, addr)
+	}
+
 	fmt.Printf("rank %d: dialing mesh of %d...\n", *rank, len(addrList))
 	tr, err := comm.DialMesh(*rank, addrList, *timeout)
 	if err != nil {
@@ -83,6 +97,16 @@ func main() {
 	}
 	c := comm.New(tr)
 	defer c.Close()
+	var tracer *obs.Tracer
+	if *trace != "" {
+		tracer = obs.NewTracer(*rank, *traceCap, time.Now())
+		c.SetTracer(tracer)
+	}
+	var met *obs.Metrics
+	if *stats {
+		met = obs.NewMetrics()
+		c.SetMetrics(met)
+	}
 	ctx := core.NewCtx(c, *threads)
 
 	n, err := core.ScanNumVertices(ctx, src)
@@ -131,7 +155,38 @@ func main() {
 	if err := c.Barrier(); err != nil {
 		fatal(err)
 	}
+	if tracer != nil {
+		path := rankTracePath(*trace, *rank)
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteChrome(f, []*obs.Tracer{tracer}); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("rank %d: trace written to %s\n", *rank, path)
+	}
+	if met != nil {
+		mets := make([]*obs.Metrics, *rank+1)
+		mets[*rank] = met
+		if err := obs.WriteMetricsTable(os.Stdout, mets); err != nil {
+			fatal(err)
+		}
+	}
 	fmt.Printf("rank %d: done\n", *rank)
+}
+
+// rankTracePath inserts the rank id before the path's extension:
+// trace.json -> trace.0.json, trace -> trace.0.
+func rankTracePath(path string, rank int) string {
+	if i := strings.LastIndex(path, "."); i > strings.LastIndex(path, "/") {
+		return fmt.Sprintf("%s.%d%s", path[:i], rank, path[i:])
+	}
+	return fmt.Sprintf("%s.%d", path, rank)
 }
 
 func fatal(err error) {

@@ -58,8 +58,11 @@ func BFS(ctx *core.Ctx, g *core.Graph, root uint32, dir Dir) (*BFSResult, error)
 	depth := -1
 
 	var fsc frontierScratch
+	tr := ctx.Comm.Tracer()
 	globalSize := uint64(1)
 	for level := int32(0); globalSize != 0; level++ {
+		mark := tr.Now()
+		frontier := len(queue)
 		next, send, err := expandFrontier(ctx, g, status, queue, level, dir)
 		if err != nil {
 			return nil, err
@@ -85,6 +88,7 @@ func BFS(ctx *core.Ctx, g *core.Graph, root uint32, dir Dir) (*BFSResult, error)
 		if err != nil {
 			return nil, err
 		}
+		tr.Span(SpanBFSLevel, mark, int64(frontier))
 	}
 
 	levels := make([]int32, g.NLoc)

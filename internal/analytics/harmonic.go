@@ -15,6 +15,8 @@ import (
 // an Allreduce. The paper reports the single-vertex time because all-vertex
 // HC is linear in m per vertex.
 func Harmonic(ctx *core.Ctx, g *core.Graph, v uint32) (float64, error) {
+	tr := ctx.Comm.Tracer()
+	mark := tr.Now()
 	bfs, err := BFS(ctx, g, v, Backward)
 	if err != nil {
 		return 0, err
@@ -25,7 +27,12 @@ func Harmonic(ctx *core.Ctx, g *core.Graph, v uint32) (float64, error) {
 		}
 		return 0
 	})
-	return comm.Allreduce(ctx.Comm, local, comm.OpSum)
+	hc, err := comm.Allreduce(ctx.Comm, local, comm.OpSum)
+	if err != nil {
+		return 0, err
+	}
+	tr.Span(SpanHarmonicVertex, mark, int64(v))
+	return hc, nil
 }
 
 // VertexScore pairs a global vertex id with a score.

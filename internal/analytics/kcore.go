@@ -40,7 +40,9 @@ func KCoreApprox(ctx *core.Ctx, g *core.Graph, levels int) (*KCoreResult, error)
 	const deadColor = ^uint32(0)
 
 	var fsc frontierScratch
+	tr := ctx.Comm.Tracer()
 	for level := 1; level <= levels; level++ {
+		mark := tr.Now()
 		k := int64(1) << level
 
 		// Peel to a fixed point: each round kills every owned vertex below
@@ -166,6 +168,7 @@ func KCoreApprox(ctx *core.Ctx, g *core.Graph, levels int) (*KCoreResult, error)
 				ub[v] = uint32(k)
 			}
 		}
+		tr.Span(SpanKCoreLevel, mark, int64(level))
 	}
 	for v := uint32(0); v < g.NLoc; v++ {
 		if ub[v] == 0 {

@@ -52,7 +52,9 @@ func LabelProp(ctx *core.Ctx, g *core.Graph, opts LabelPropOptions) (*LabelPropR
 		}
 	})
 
+	tr := ctx.Comm.Tracer()
 	for it := 0; it < opts.Iterations; it++ {
+		mark := tr.Now()
 		// The paper's main loop (Algorithm 1 lines 30-40): histogram each
 		// vertex's neighborhood in a per-thread hash map (lmap) and take
 		// the argmax.
@@ -79,6 +81,7 @@ func LabelProp(ctx *core.Ctx, g *core.Graph, opts LabelPropOptions) (*LabelPropR
 		if err := Exchange(ctx, halo, labels); err != nil {
 			return nil, err
 		}
+		tr.Span(SpanLabelPropIter, mark, int64(it))
 	}
 	return &LabelPropResult{Labels: labels[:g.NLoc:g.NLoc], Iterations: opts.Iterations}, nil
 }

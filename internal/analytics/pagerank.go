@@ -67,7 +67,9 @@ func PageRank(ctx *core.Ctx, g *core.Graph, opts PageRankOptions) (*PageRankResu
 	}
 
 	iters := 0
+	tr := ctx.Comm.Tracer()
 	for it := 0; it < opts.Iterations; it++ {
+		mark := tr.Now()
 		// Global dangling mass (vertices with no out-edges leak rank).
 		localDangling := ctx.Pool.SumRangeF64(int(g.NLoc), func(i int) float64 {
 			if g.OutDegree(uint32(i)) == 0 {
@@ -107,6 +109,7 @@ func PageRank(ctx *core.Ctx, g *core.Graph, opts PageRankOptions) (*PageRankResu
 			pr, next = next, pr
 			iters = it + 1
 			if delta < opts.Tolerance {
+				tr.Span(SpanPageRankIter, mark, int64(it))
 				break
 			}
 		} else {
@@ -129,6 +132,7 @@ func PageRank(ctx *core.Ctx, g *core.Graph, opts PageRankOptions) (*PageRankResu
 		if err := Exchange(ctx, halo, val); err != nil {
 			return nil, err
 		}
+		tr.Span(SpanPageRankIter, mark, int64(it))
 	}
 	return &PageRankResult{Scores: pr, Iterations: iters}, nil
 }

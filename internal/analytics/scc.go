@@ -123,7 +123,9 @@ func trim(ctx *core.Ctx, g *core.Graph, comp []uint32) (uint64, error) {
 		outDeg[v] = int64(g.OutDegree(v))
 	}
 	var trimmed uint64
+	tr := ctx.Comm.Tracer()
 	for {
+		mark := tr.Now()
 		// Find this round's deaths.
 		var dead []uint32
 		for v := uint32(0); v < g.NLoc; v++ {
@@ -138,6 +140,7 @@ func trim(ctx *core.Ctx, g *core.Graph, comp []uint32) (uint64, error) {
 			return 0, err
 		}
 		if globalDead == 0 {
+			tr.Span(SpanSCCTrimRound, mark, int64(len(dead)))
 			return trimmed, nil
 		}
 		// Notify neighbors: v's out-edge (v,u) lowers u's in-degree; v's
@@ -186,6 +189,7 @@ func trim(ctx *core.Ctx, g *core.Graph, comp []uint32) (uint64, error) {
 		for _, msg := range recv {
 			apply(msg)
 		}
+		tr.Span(SpanSCCTrimRound, mark, int64(len(dead)))
 	}
 }
 
@@ -194,6 +198,8 @@ func trim(ctx *core.Ctx, g *core.Graph, comp []uint32) (uint64, error) {
 // product. Returns the pivot's global id (or unassigned if nothing is
 // left).
 func fwbw(ctx *core.Ctx, g *core.Graph, comp []uint32) (uint32, error) {
+	tr := ctx.Comm.Tracer()
+	mark := tr.Now()
 	var bestScore uint64
 	bestGid := unassigned
 	for v := uint32(0); v < g.NLoc; v++ {
@@ -231,6 +237,7 @@ func fwbw(ctx *core.Ctx, g *core.Graph, comp []uint32) (uint32, error) {
 			comp[v] = pivot
 		}
 	}
+	tr.Span(SpanSCCFwBw, mark, int64(pivot))
 	return pivot, nil
 }
 
@@ -349,7 +356,9 @@ func colorDecompose(ctx *core.Ctx, g *core.Graph, comp []uint32) error {
 	// colors[u] is gid+1 for active vertices, 0 for assigned ones (0 never
 	// wins a max, so assigned vertices never propagate).
 	colors := make([]uint32, g.NTotal())
-	for {
+	tr := ctx.Comm.Tracer()
+	for round := int64(0); ; round++ {
+		mark := tr.Now()
 		var active uint64
 		for v := uint32(0); v < g.NLoc; v++ {
 			if comp[v] == unassigned {
@@ -364,6 +373,7 @@ func colorDecompose(ctx *core.Ctx, g *core.Graph, comp []uint32) error {
 			return err
 		}
 		if globalActive == 0 {
+			tr.Span(SpanSCCColorRound, mark, round)
 			return nil
 		}
 		if err := Exchange(ctx, halo, colors); err != nil {
@@ -421,5 +431,6 @@ func colorDecompose(ctx *core.Ctx, g *core.Graph, comp []uint32) error {
 				comp[v] = colors[v] - 1
 			}
 		}
+		tr.Span(SpanSCCColorRound, mark, round)
 	}
 }

@@ -1,0 +1,40 @@
+package analytics
+
+// Span names emitted into the rank's tracer (obs package) by each
+// analytic's driver loop — one span per level / iteration / round, so a
+// captured trace shows exactly where an analytic spends its time between
+// the comm/* spans the collectives emit underneath. The constants are the
+// stable contract the golden-trace tests and the harness's per-phase table
+// rely on; producers pass them as long-lived strings so emitting never
+// allocates.
+const (
+	// SpanBFSLevel wraps one level-synchronous BFS round; arg is the local
+	// frontier size entering the level.
+	SpanBFSLevel = "bfs/level"
+	// SpanPageRankIter wraps one PageRank power iteration; arg is the
+	// iteration index.
+	SpanPageRankIter = "pagerank/iter"
+	// SpanLabelPropIter wraps one Label Propagation round; arg is the
+	// iteration index.
+	SpanLabelPropIter = "labelprop/iter"
+	// SpanWCCColorRound wraps one min-label coloring round of WCC; arg is
+	// the round index.
+	SpanWCCColorRound = "wcc/color-round"
+	// SpanKCoreLevel wraps one 2^i threshold level of the approximate
+	// k-core peel; arg is the level number i.
+	SpanKCoreLevel = "kcore/level"
+	// SpanSSSPRound wraps one Bellman-Ford relaxation round; arg is the
+	// local queue size entering the round.
+	SpanSSSPRound = "sssp/round"
+	// SpanSCCTrimRound wraps one trim round of SCC preprocessing; arg is
+	// the local death count of the round.
+	SpanSCCTrimRound = "scc/trim-round"
+	// SpanSCCFwBw wraps the forward-backward pivot sweep of SCC.
+	SpanSCCFwBw = "scc/fwbw"
+	// SpanSCCColorRound wraps one color-decomposition outer round of SCC;
+	// arg is the round index.
+	SpanSCCColorRound = "scc/color-round"
+	// SpanHarmonicVertex wraps one per-vertex harmonic-centrality sweep
+	// (a reverse BFS plus reduction); arg is the vertex's global id.
+	SpanHarmonicVertex = "harmonic/vertex"
+)

@@ -83,6 +83,7 @@ func SSSP(ctx *core.Ctx, g *core.Graph, root uint32, w WeightFunc) (*SSSPResult,
 	var recvGidCounts, recvDistCounts []int
 
 	rounds := 0
+	tr := ctx.Comm.Tracer()
 	for {
 		globalActive, err := comm.Allreduce(ctx.Comm, uint64(len(queue)), comm.OpSum)
 		if err != nil {
@@ -92,6 +93,8 @@ func SSSP(ctx *core.Ctx, g *core.Graph, root uint32, w WeightFunc) (*SSSPResult,
 			break
 		}
 		rounds++
+		mark := tr.Now()
+		frontier := len(queue)
 		for i := range inQueue {
 			inQueue[i] = 0
 		}
@@ -191,6 +194,7 @@ func SSSP(ctx *core.Ctx, g *core.Graph, root uint32, w WeightFunc) (*SSSPResult,
 			}
 		}
 		queue = next
+		tr.Span(SpanSSSPRound, mark, int64(frontier))
 	}
 
 	localReached := ctx.Pool.SumRangeU64(int(g.NLoc), func(i int) uint64 {

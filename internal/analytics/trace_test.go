@@ -1,0 +1,167 @@
+package analytics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/partition"
+)
+
+// Golden-trace tests: the span sequence an analytic emits is part of its
+// observable contract. On a fixed seeded graph the event names, their
+// nesting under the comm spans, the per-span args (iteration index,
+// frontier size), and the counter totals must be identical run over run and
+// — for the per-iteration spans — across rank counts. Only durations and
+// timestamps may vary.
+
+// traceRun holds one rank's golden trace of the BFS+PageRank script.
+type traceRun struct {
+	events []string // "name arg", timestamps stripped
+	snap   [obs.NumCollectives]obs.CollectiveStats
+}
+
+// goldenTraceRun builds the seeded RMAT graph on p ranks, runs BFS from
+// vertex 0 and a fixed-iteration PageRank under tracing, and returns each
+// rank's event sequence and counters.
+func goldenTraceRun(t *testing.T, p int) []traceRun {
+	t.Helper()
+	spec := gen.Spec{Kind: gen.RMAT, NumVertices: 256, NumEdges: 2048, Seed: 99}
+	out := make([]traceRun, p)
+	var mu sync.Mutex
+	err := comm.RunLocal(p, func(c *comm.Comm) error {
+		tr := obs.NewTracer(c.Rank(), 4096, time.Now())
+		met := obs.NewMetrics()
+		c.SetTracer(tr)
+		c.SetMetrics(met)
+		ctx := core.NewCtx(c, 2)
+		src := core.SpecSource{Spec: spec}
+		pt, err := core.MakePartitioner(ctx, src, partition.VertexBlock, spec.NumVertices, 123)
+		if err != nil {
+			return err
+		}
+		g, _, err := core.Build(ctx, src, pt)
+		if err != nil {
+			return err
+		}
+		// Reset so the golden sequence starts at the analytics, not at
+		// graph construction (whose exchange count varies with p).
+		tr.Reset()
+		met.Reset()
+		if _, err := BFS(ctx, g, 0, Forward); err != nil {
+			return err
+		}
+		if _, err := PageRank(ctx, g, PageRankOptions{Iterations: 10, Damping: 0.85}); err != nil {
+			return err
+		}
+		run := traceRun{snap: met.Snapshot()}
+		for _, e := range tr.Events() {
+			run.events = append(run.events, fmt.Sprintf("%s %d", e.Name, e.Arg))
+		}
+		for k := range run.snap {
+			run.snap[k].WaitNs = 0
+			run.snap[k].CommNs = 0
+		}
+		mu.Lock()
+		out[c.Rank()] = run
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func countEvents(run traceRun, name string) int {
+	n := 0
+	for _, e := range run.events {
+		if strings.HasPrefix(e, name+" ") {
+			n++
+		}
+	}
+	return n
+}
+
+func TestGoldenTraceDeterministic(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		p := p
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			a := goldenTraceRun(t, p)
+			b := goldenTraceRun(t, p)
+			for r := 0; r < p; r++ {
+				if ae, be := strings.Join(a[r].events, "\n"), strings.Join(b[r].events, "\n"); ae != be {
+					t.Errorf("rank %d: event sequence differs between identical runs:\n--- run A\n%s\n--- run B\n%s", r, ae, be)
+				}
+				if a[r].snap != b[r].snap {
+					t.Errorf("rank %d: counters differ between identical runs:\n%+v\nvs\n%+v", r, a[r].snap, b[r].snap)
+				}
+			}
+		})
+	}
+}
+
+func TestGoldenTraceShape(t *testing.T) {
+	var bfsLevels int
+	for _, p := range []int{1, 2, 4} {
+		runs := goldenTraceRun(t, p)
+		for r, run := range runs {
+			// PageRank runs exactly its configured 10 iterations; every
+			// rank participates in every one.
+			if n := countEvents(run, SpanPageRankIter); n != 10 {
+				t.Errorf("p=%d rank %d: %d pagerank/iter spans, want 10", p, r, n)
+			}
+			// Every span carries the iteration index as its arg, 0..9 in
+			// order.
+			it := 0
+			for _, e := range run.events {
+				if strings.HasPrefix(e, SpanPageRankIter+" ") {
+					want := fmt.Sprintf("%s %d", SpanPageRankIter, it)
+					if e != want {
+						t.Errorf("p=%d rank %d: pagerank span %q, want %q", p, r, e, want)
+					}
+					it++
+				}
+			}
+			// BFS levels are global barriers: every rank sees the same
+			// count, and the count is a property of the graph, not of the
+			// partitioning — so it matches across rank counts too.
+			n := countEvents(run, SpanBFSLevel)
+			if n == 0 {
+				t.Fatalf("p=%d rank %d: no bfs/level spans", p, r)
+			}
+			if bfsLevels == 0 {
+				bfsLevels = n
+			}
+			if n != bfsLevels {
+				t.Errorf("p=%d rank %d: %d bfs/level spans, want %d", p, r, n, bfsLevels)
+			}
+			// The analytic spans ride on comm spans: the collectives each
+			// iteration performs must be present and attributed.
+			if run.snap[obs.CAllreduce].Calls == 0 {
+				t.Errorf("p=%d rank %d: no allreduce rounds recorded", p, r)
+			}
+			if p > 1 && run.snap[obs.CAlltoallv].Calls == 0 {
+				t.Errorf("p=%d rank %d: no alltoallv rounds recorded on a multi-rank run", p, r)
+			}
+		}
+		// Wire-volume symmetry: with VertexBlock everyone runs the same
+		// script, so global sent == global received.
+		var sent, recvd uint64
+		for _, run := range runs {
+			for k := range run.snap {
+				sent += run.snap[k].WireBytesOut
+				recvd += run.snap[k].WireBytesIn
+			}
+		}
+		if sent != recvd {
+			t.Errorf("p=%d: global sent %d != received %d", p, sent, recvd)
+		}
+	}
+}

@@ -86,7 +86,9 @@ func wcc(ctx *core.Ctx, g *core.Graph, multistep bool) (*WCCResult, error) {
 	if err := Exchange(ctx, halo, colors); err != nil {
 		return nil, err
 	}
-	for {
+	tr := ctx.Comm.Tracer()
+	for round := int64(0); ; round++ {
+		mark := tr.Now()
 		// In-place (Gauss-Seidel) min propagation: threads may read a
 		// neighbor's color while its owner thread lowers it. The relaxed
 		// atomics make the race well-defined; monotonicity makes any
@@ -119,11 +121,13 @@ func wcc(ctx *core.Ctx, g *core.Graph, multistep bool) (*WCCResult, error) {
 			return nil, err
 		}
 		if globalChanged == 0 {
+			tr.Span(SpanWCCColorRound, mark, round)
 			break
 		}
 		if err := Exchange(ctx, halo, colors); err != nil {
 			return nil, err
 		}
+		tr.Span(SpanWCCColorRound, mark, round)
 	}
 
 	labels := make([]uint32, g.NLoc)

@@ -3,6 +3,8 @@ package comm
 import (
 	"encoding/binary"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // Op identifies a reduction operator for Allreduce and scans.
@@ -62,6 +64,7 @@ func AlltoallvInto[T Scalar](c *Comm, send []T, counts []int, recv []T, recvCoun
 	if len(counts) != size {
 		return nil, nil, fmt.Errorf("comm: Alltoallv counts has %d entries for %d ranks", len(counts), size)
 	}
+	c.enter(obs.CAlltoallv)
 	es := sizeOf[T]()
 	out := c.sendBuffers()
 	pos := 0
@@ -84,6 +87,7 @@ func AlltoallvInto[T Scalar](c *Comm, send []T, counts []int, recv []T, recvCoun
 	if pos != len(send) {
 		return nil, nil, fmt.Errorf("comm: Alltoallv counts sum %d != len(send) %d", pos, len(send))
 	}
+	c.xself = uint64((selfHi - selfLo) * es)
 
 	in, err := c.beginExchange(out)
 	if err != nil {
@@ -168,9 +172,11 @@ func broadcastBuffers[T Scalar](c *Comm, vals []T) [][]byte {
 func Allgather[T Scalar](c *Comm, v T) ([]T, error) {
 	size := c.Size()
 	self := c.Rank()
+	c.enter(obs.CAllgather)
 	es := sizeOf[T]()
 	vv := [1]T{v}
 	out := broadcastBuffers(c, vv[:])
+	c.xself = uint64(es)
 	in, err := c.beginExchange(out)
 	if err != nil {
 		return nil, err
@@ -201,8 +207,10 @@ func Allgather[T Scalar](c *Comm, v T) ([]T, error) {
 func Allgatherv[T Scalar](c *Comm, vals []T) (all []T, counts []int, err error) {
 	size := c.Size()
 	self := c.Rank()
+	c.enter(obs.CAllgatherv)
 	es := sizeOf[T]()
 	out := broadcastBuffers(c, vals)
+	c.xself = uint64(len(vals) * es)
 	in, err := c.beginExchange(out)
 	if err != nil {
 		return nil, nil, err
@@ -252,9 +260,11 @@ func Bcast[T Scalar](c *Comm, vals []T, root int) ([]T, error) {
 	if root < 0 || root >= size {
 		return nil, fmt.Errorf("comm: Bcast root %d out of range", root)
 	}
+	c.enter(obs.CBcast)
 	var out [][]byte
 	if self == root {
 		out = broadcastBuffers(c, vals)
+		c.xself = uint64(len(vals) * sizeOf[T]())
 	} else {
 		out = c.sendBuffers()
 	}
@@ -288,6 +298,7 @@ func Bcast[T Scalar](c *Comm, vals []T, root int) ([]T, error) {
 // Allreduce combines one value per rank with op and returns the result on
 // every rank.
 func Allreduce[T Scalar](c *Comm, v T, op Op) (T, error) {
+	c.enter(obs.CAllreduce)
 	all, err := Allgather(c, v)
 	if err != nil {
 		var z T
@@ -302,6 +313,7 @@ func Allreduce[T Scalar](c *Comm, v T, op Op) (T, error) {
 
 // AllreduceSlice element-wise combines equal-length slices from every rank.
 func AllreduceSlice[T Scalar](c *Comm, vals []T, op Op) ([]T, error) {
+	c.enter(obs.CAllreduce)
 	all, counts, err := Allgatherv(c, vals)
 	if err != nil {
 		return nil, err
@@ -327,6 +339,7 @@ func AllreduceSlice[T Scalar](c *Comm, vals []T, op Op) ([]T, error) {
 // op(v_0, ..., v_{r-1}), and rank 0 receives id (the caller's identity
 // element for op).
 func ExScan[T Scalar](c *Comm, v T, op Op, id T) (T, error) {
+	c.enter(obs.CScan)
 	all, err := Allgather(c, v)
 	if err != nil {
 		var z T
@@ -349,9 +362,11 @@ func ExScan[T Scalar](c *Comm, v T, op Op, id T) (T, error) {
 // selection).
 func MaxLoc[T Scalar](c *Comm, v T, payload uint64) (maxVal T, maxPayload uint64, maxRank int, err error) {
 	self := c.Rank()
+	c.enter(obs.CMaxLoc)
 	es := sizeOf[T]()
 	vv := [1]T{v}
 	out := c.sendBuffers()
+	c.xself = uint64(es + 8)
 	buf := encodeInto(c.outBufs[self][:0], vv[:])
 	buf = binary.LittleEndian.AppendUint64(buf, payload)
 	c.outBufs[self] = buf

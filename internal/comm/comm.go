@@ -2,6 +2,8 @@ package comm
 
 import (
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Comm is one rank's communicator: a transport plus the per-rank timing
@@ -25,6 +27,17 @@ type Comm struct {
 	// In-flight exchange bookkeeping for the begin/end pair.
 	xstart time.Time
 	xwait  time.Duration
+
+	// Observability hooks, both nil by default (the zero-cost-disabled
+	// contract: every hot-path touch below is a nil check or a plain
+	// store). trace/met receive one span / one counter update per
+	// transport round, attributed to the collective named by cur; xself
+	// carries the round's self-bypass byte count and xmark the span start.
+	trace *obs.Tracer
+	met   *obs.Metrics
+	cur   obs.Collective
+	xself uint64
+	xmark int64
 }
 
 // Stats is the cumulative time and volume breakdown of a measured region.
@@ -65,6 +78,34 @@ func (c *Comm) Transport() Transport { return c.tr }
 
 // Close closes the underlying transport.
 func (c *Comm) Close() error { return c.tr.Close() }
+
+// SetTracer attaches a span tracer; nil (the default) disables tracing.
+// Each transport round then emits one span named after its collective whose
+// duration is exactly the interval the Stats breakdown attributes to
+// CommT+Idle, so trace totals and TakeStats agree.
+func (c *Comm) SetTracer(t *obs.Tracer) { c.trace = t }
+
+// Tracer returns the attached tracer (nil when tracing is disabled). The
+// analytics reach through this to emit their per-iteration spans; all
+// tracer methods are nil-safe, so callers need no guard.
+func (c *Comm) Tracer() *obs.Tracer { return c.trace }
+
+// SetMetrics attaches per-collective counters; nil (the default) disables
+// them.
+func (c *Comm) SetMetrics(m *obs.Metrics) { c.met = m }
+
+// Metrics returns the attached counter set (nil when disabled).
+func (c *Comm) Metrics() *obs.Metrics { return c.met }
+
+// enter names the collective the next transport round belongs to. The
+// outermost collective wins: composites (Allreduce over Allgather) keep
+// their own name because the inner call finds cur already set. settle
+// clears it after attributing the round.
+func (c *Comm) enter(k obs.Collective) {
+	if c.cur == obs.CNone {
+		c.cur = k
+	}
+}
 
 // ResetStats zeroes the breakdown and restarts the computation clock. Call
 // at the start of a measured region (e.g. the first PageRank iteration).
@@ -107,6 +148,9 @@ func (c *Comm) beginExchange(out [][]byte) ([][]byte, error) {
 	start := time.Now()
 	c.stats.Comp += start.Sub(c.mark)
 	c.xstart = start
+	if c.trace != nil {
+		c.xmark = c.trace.Now()
+	}
 
 	var in [][]byte
 	var err error
@@ -141,7 +185,10 @@ func (c *Comm) endExchange(out, in [][]byte) error {
 }
 
 // settle closes out the in-flight round's timing, and (on success, when out
-// and in are the round's messages) its off-rank byte volume.
+// and in are the round's messages) its off-rank byte volume. When tracing
+// or metrics are attached it also emits the round's span and counters; the
+// span reuses the very interval folded into CommT+Idle, so trace and Stats
+// totals are identical by construction.
 func (c *Comm) settle(out, in [][]byte) {
 	end := time.Now()
 	elapsed := end.Sub(c.xstart)
@@ -155,15 +202,49 @@ func (c *Comm) settle(out, in [][]byte) {
 	c.mark = end
 	c.xwait = 0
 	self := c.Rank()
+	var sent, recvd uint64
 	for i, m := range out {
 		if i != self {
-			c.stats.BytesSent += uint64(len(m))
+			sent += uint64(len(m))
 		}
 	}
 	for i, m := range in {
 		if i != self {
-			c.stats.BytesRecv += uint64(len(m))
+			recvd += uint64(len(m))
 		}
+	}
+	c.stats.BytesSent += sent
+	c.stats.BytesRecv += recvd
+	if c.trace != nil || c.met != nil {
+		c.observe(out, elapsed, wait, sent, recvd)
+	}
+	c.cur = obs.CNone
+	c.xself = 0
+}
+
+// observe reports one settled round to the attached tracer and counters.
+// Off the hot path: runs only when observability is enabled.
+func (c *Comm) observe(out [][]byte, elapsed, wait time.Duration, sent, recvd uint64) {
+	if c.met != nil {
+		var maxMsg uint64
+		self := c.Rank()
+		for i, m := range out {
+			if i != self && uint64(len(m)) > maxMsg {
+				maxMsg = uint64(len(m))
+			}
+		}
+		c.met.Add(c.cur, obs.CollectiveStats{
+			Calls:        1,
+			WireBytesOut: sent,
+			WireBytesIn:  recvd,
+			SelfBytes:    c.xself,
+			MaxMsgBytes:  maxMsg,
+			WaitNs:       wait.Nanoseconds(),
+			CommNs:       (elapsed - wait).Nanoseconds(),
+		})
+	}
+	if c.trace != nil {
+		c.trace.Emit(c.cur.SpanName(), c.xmark, elapsed.Nanoseconds(), int64(sent))
 	}
 }
 
@@ -193,6 +274,7 @@ func (c *Comm) exchange(out [][]byte) ([][]byte, error) {
 
 // Barrier blocks until every rank has called Barrier.
 func (c *Comm) Barrier() error {
+	c.enter(obs.CBarrier)
 	out := c.sendBuffers()
 	in, err := c.beginExchange(out)
 	if err != nil {

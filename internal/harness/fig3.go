@@ -7,6 +7,7 @@ import (
 	"repro/internal/analytics"
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/partition"
 )
 
@@ -16,9 +17,11 @@ import (
 // count. The breakdown comes from the communicator's built-in recorder:
 // computation is time between collectives, idle is time blocked waiting for
 // slower ranks inside collectives, communication is the remaining
-// in-collective time.
+// in-collective time. The wire-volume columns come from the per-collective
+// obs counters, which tally off-rank bytes at the same point the transport
+// ships them (TestFig3VolumeMatchesStats pins them equal to the Stats
+// totals).
 func Fig3(cfg Config) (*Report, error) {
-	wc := cfg.wcSim()
 	parts := []struct {
 		name string
 		kind partition.Kind
@@ -37,35 +40,23 @@ func Fig3(cfg Config) (*Report, error) {
 			if p < 2 {
 				continue // ratios need at least two ranks to be interesting
 			}
-			ratios := make([][3]float64, p) // comp, comm, idle per rank
-			sentMiB := make([]float64, p)   // off-rank bytes shipped per rank
-			var mu sync.Mutex
-			err := cfg.buildForAnalytics(p, core.SpecSource{Spec: wc}, wc.NumVertices, pt.kind,
-				func(ctx *core.Ctx, g *core.Graph) error {
-					if err := ctx.Comm.Barrier(); err != nil {
-						return err
-					}
-					ctx.Comm.ResetStats()
-					if _, err := analytics.PageRank(ctx, g, analytics.DefaultPageRank()); err != nil {
-						return err
-					}
-					s := ctx.Comm.TakeStats()
-					total := s.Total().Seconds()
-					if total <= 0 {
-						total = 1
-					}
-					mu.Lock()
-					ratios[ctx.Rank()] = [3]float64{
-						s.Comp.Seconds() / total,
-						s.CommT.Seconds() / total,
-						s.Idle.Seconds() / total,
-					}
-					sentMiB[ctx.Rank()] = float64(s.BytesSent) / (1 << 20)
-					mu.Unlock()
-					return nil
-				})
+			stats, mets, err := Fig3Raw(cfg, p, pt.kind)
 			if err != nil {
 				return nil, err
+			}
+			ratios := make([][3]float64, p) // comp, comm, idle per rank
+			sentMiB := make([]float64, p)   // off-rank bytes shipped per rank
+			for rank, s := range stats {
+				total := s.Total().Seconds()
+				if total <= 0 {
+					total = 1
+				}
+				ratios[rank] = [3]float64{
+					s.Comp.Seconds() / total,
+					s.CommT.Seconds() / total,
+					s.Idle.Seconds() / total,
+				}
+				sentMiB[rank] = float64(mets[rank].Total().WireBytesOut) / (1 << 20)
 			}
 			row := []string{pt.name, fmt.Sprintf("%d", p)}
 			for c := 0; c < 3; c++ {
@@ -105,22 +96,35 @@ func Fig3(cfg Config) (*Report, error) {
 	return r, nil
 }
 
-// Fig3Raw returns the per-rank stats for one configuration, used by tests.
-func Fig3Raw(cfg Config, p int, kind partition.Kind) ([]comm.Stats, error) {
+// Fig3Raw runs PageRank once on the WC-sim graph and returns each rank's
+// timing Stats alongside its per-collective counter snapshot; Fig3 and the
+// harness tests consume both views of the same run.
+func Fig3Raw(cfg Config, p int, kind partition.Kind) ([]comm.Stats, []*obs.Metrics, error) {
 	wc := cfg.wcSim()
-	out := make([]comm.Stats, p)
+	stats := make([]comm.Stats, p)
+	mets := make([]*obs.Metrics, p)
 	var mu sync.Mutex
 	err := cfg.buildForAnalytics(p, core.SpecSource{Spec: wc}, wc.NumVertices, kind,
 		func(ctx *core.Ctx, g *core.Graph) error {
+			if err := ctx.Comm.Barrier(); err != nil {
+				return err
+			}
+			m := obs.NewMetrics()
+			ctx.Comm.SetMetrics(m)
 			ctx.Comm.ResetStats()
 			if _, err := analytics.PageRank(ctx, g, analytics.DefaultPageRank()); err != nil {
 				return err
 			}
 			s := ctx.Comm.TakeStats()
+			ctx.Comm.SetMetrics(nil)
 			mu.Lock()
-			out[ctx.Rank()] = s
+			stats[ctx.Rank()] = s
+			mets[ctx.Rank()] = m
 			mu.Unlock()
 			return nil
 		})
-	return out, err
+	if err != nil {
+		return nil, nil, err
+	}
+	return stats, mets, nil
 }

@@ -12,6 +12,8 @@ import (
 	"io"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Config scales and shapes the experiments. Defaults (see Default) are
@@ -29,6 +31,10 @@ type Config struct {
 	// TmpDir hosts edge files for the I/O experiments; empty means the
 	// OS temp dir.
 	TmpDir string
+	// Trace, when non-nil, collects a per-rank span timeline from every
+	// rank group the experiments spin up (comm collectives plus analytic
+	// iterations). Leave nil to run untraced at zero cost.
+	Trace *obs.TraceSet
 }
 
 // Default returns the laptop-scale configuration.

@@ -82,12 +82,12 @@ func TestRunAllRendersEverything(t *testing.T) {
 
 func TestFig3RawBreakdownSane(t *testing.T) {
 	cfg := tinyConfig()
-	stats, err := Fig3Raw(cfg, 2, partition.VertexBlock)
+	stats, mets, err := Fig3Raw(cfg, 2, partition.VertexBlock)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(stats) != 2 {
-		t.Fatalf("got %d stats", len(stats))
+	if len(stats) != 2 || len(mets) != 2 {
+		t.Fatalf("got %d stats, %d metrics", len(stats), len(mets))
 	}
 	for r, s := range stats {
 		if s.Total() <= 0 {
@@ -98,6 +98,39 @@ func TestFig3RawBreakdownSane(t *testing.T) {
 		}
 		if s.BytesSent == 0 {
 			t.Fatalf("rank %d: no traffic recorded on 2 ranks", r)
+		}
+	}
+}
+
+// TestFig3VolumeMatchesStats pins the figure's wire-volume fix: the
+// per-collective obs counters and the communicator's Stats tally the same
+// run at different layers, and they must agree exactly — per rank, for
+// both directions and the call count. This is the regression test for the
+// Sent MiB column now being derived from the counters.
+func TestFig3VolumeMatchesStats(t *testing.T) {
+	cfg := tinyConfig()
+	for _, p := range []int{2, 4} {
+		stats, mets, err := Fig3Raw(cfg, p, partition.Random)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < p; r++ {
+			s, tot := stats[r], mets[r].Total()
+			if tot.WireBytesOut != s.BytesSent {
+				t.Fatalf("p=%d rank %d: counters sent %d bytes, stats %d", p, r, tot.WireBytesOut, s.BytesSent)
+			}
+			if tot.WireBytesIn != s.BytesRecv {
+				t.Fatalf("p=%d rank %d: counters recvd %d bytes, stats %d", p, r, tot.WireBytesIn, s.BytesRecv)
+			}
+			if tot.Calls != s.Exchanges {
+				t.Fatalf("p=%d rank %d: counters saw %d collectives, stats %d", p, r, tot.Calls, s.Exchanges)
+			}
+			if tot.SelfBytes == 0 {
+				t.Fatalf("p=%d rank %d: no self-bypass bytes recorded; PageRank always keeps a local segment", p, r)
+			}
+			if tot.MaxMsgBytes == 0 {
+				t.Fatalf("p=%d rank %d: zero max message size with off-rank traffic", p, r)
+			}
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/gio"
+	"repro/internal/obs"
 	"repro/internal/partition"
 )
 
@@ -84,11 +85,15 @@ func (cfg Config) plantedSim() gen.PlantedSpec {
 }
 
 // buildGraph constructs the distributed graph SPMD-style and hands each
-// rank's shard to body. Timings are maxed over ranks into tm.
+// rank's shard to body. Timings are maxed over ranks into tm. When ts is
+// non-nil every rank records its collective and analytic spans into the
+// set's per-rank tracers.
 func buildGraph(p, threads int, src core.EdgeSource, n uint32, kind partition.Kind, seed uint64,
-	body func(ctx *core.Ctx, g *core.Graph) error) (core.Timings, error) {
+	ts *obs.TraceSet, body func(ctx *core.Ctx, g *core.Graph) error) (core.Timings, error) {
 	var tm core.Timings
+	ts.Ensure(p)
 	err := comm.RunLocal(p, func(c *comm.Comm) error {
+		c.SetTracer(ts.Rank(c.Rank()))
 		ctx := core.NewCtx(c, threads)
 		pt, err := core.MakePartitioner(ctx, src, kind, n, seed)
 		if err != nil {

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteChrome writes the tracers' merged events as Chrome trace_event JSON
+// (the format chrome://tracing and Perfetto load): one complete ("X") event
+// per span, pid 0, tid = rank, timestamps in microseconds with nanosecond
+// precision. Per-rank events appear oldest-first, so within a tid the ts
+// column is monotone non-decreasing whenever the producer's marks were
+// (which the tracer's monotonic clock guarantees).
+//
+// Span names pass through encoding/json, so arbitrary names — quotes,
+// control characters, invalid UTF-8 — always yield valid JSON.
+func WriteChrome(w io.Writer, tracers []*Tracer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	sep := func() error {
+		if !first {
+			return bw.WriteByte(',')
+		}
+		first = false
+		return nil
+	}
+	for _, t := range tracers {
+		if t == nil {
+			continue
+		}
+		// Thread-name metadata so the viewer labels each lane "rank N".
+		if err := sep(); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw,
+			`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":"rank %d"}}`,
+			t.rank, t.rank); err != nil {
+			return err
+		}
+		for _, e := range t.Events() {
+			if err := sep(); err != nil {
+				return err
+			}
+			if err := writeChromeEvent(bw, t.rank, e); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeChromeEvent(bw *bufio.Writer, rank int, e Event) error {
+	name, err := json.Marshal(e.Name)
+	if err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(`{"ph":"X","pid":0,"tid":`); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(strconv.Itoa(rank)); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(`,"name":`); err != nil {
+		return err
+	}
+	if _, err := bw.Write(name); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(`,"ts":`); err != nil {
+		return err
+	}
+	if err := writeMicros(bw, e.Start); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(`,"dur":`); err != nil {
+		return err
+	}
+	if err := writeMicros(bw, e.Dur); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(`,"args":{"v":`); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(strconv.FormatInt(e.Arg, 10)); err != nil {
+		return err
+	}
+	_, err = bw.WriteString(`}}`)
+	return err
+}
+
+// writeMicros renders ns as a decimal microsecond value with exactly three
+// fractional digits (full nanosecond precision, no float rounding), so the
+// ts ordering of the JSON matches the ordering of the source nanosecond
+// values even for arbitrary int64 inputs.
+func writeMicros(bw *bufio.Writer, ns int64) error {
+	u := uint64(ns)
+	if ns < 0 {
+		if err := bw.WriteByte('-'); err != nil {
+			return err
+		}
+		u = uint64(-ns) // MinInt64 negates to itself; uint64(-) is still correct
+	}
+	if _, err := bw.WriteString(strconv.FormatUint(u/1000, 10)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, ".%03d", u%1000); err != nil {
+		return err
+	}
+	return nil
+}

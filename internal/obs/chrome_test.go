@@ -1,0 +1,316 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chromeDoc mirrors the trace_event JSON container for decoding in tests.
+type chromeDoc struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+type chromeEvent struct {
+	Ph   string          `json:"ph"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	Name string          `json:"name"`
+	Ts   float64         `json:"ts"`
+	Dur  float64         `json:"dur"`
+	Args map[string]any  `json:"args"`
+	Raw  json.RawMessage `json:"-"`
+}
+
+func TestWriteChromeRoundTrip(t *testing.T) {
+	epoch := time.Now()
+	a := NewTracer(0, 16, epoch)
+	b := NewTracer(2, 16, epoch)
+	a.Emit("comm/alltoallv", 1000, 2500, 64)
+	a.Emit("pagerank/iter", 4000, 1000, 3)
+	b.Emit("comm/barrier", 500, 100, 0)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, []*Tracer{a, nil, b}); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON:\n%s", buf.String())
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var xs []chromeEvent
+	var metas []chromeEvent
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			xs = append(xs, e)
+		case "M":
+			metas = append(metas, e)
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if len(xs) != 3 {
+		t.Fatalf("got %d X events", len(xs))
+	}
+	if len(metas) != 2 {
+		t.Fatalf("got %d metadata events (one per non-nil tracer)", len(metas))
+	}
+	e := xs[0]
+	if e.Name != "comm/alltoallv" || e.Tid != 0 || e.Pid != 0 {
+		t.Fatalf("event identity %+v", e)
+	}
+	// 1000 ns = 1.000 us, 2500 ns = 2.500 us.
+	if e.Ts != 1.0 || e.Dur != 2.5 {
+		t.Fatalf("ts=%v dur=%v", e.Ts, e.Dur)
+	}
+	if v, ok := e.Args["v"].(float64); !ok || v != 64 {
+		t.Fatalf("args = %v", e.Args)
+	}
+	if xs[2].Tid != 2 {
+		t.Fatalf("rank 2 event tid = %d", xs[2].Tid)
+	}
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON: %s", buf.String())
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("events from no tracers: %+v", doc.TraceEvents)
+	}
+}
+
+// TestWriteChromeNastyNames feeds names that would break naive quoting.
+func TestWriteChromeNastyNames(t *testing.T) {
+	names := []string{
+		`quote"inside`,
+		"back\\slash",
+		"new\nline",
+		"tab\tchar",
+		"\x00control\x1f",
+		"\xff\xfe invalid utf8",
+		"unicode \u2028 separator",
+		"", // empty name
+	}
+	tr := NewTracer(0, 32, time.Now())
+	for i, n := range names {
+		tr.Emit(n, int64(i), 1, 0)
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, []*Tracer{tr}); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON for nasty names:\n%s", buf.String())
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != len(names)+1 {
+		t.Fatalf("got %d events", len(doc.TraceEvents))
+	}
+}
+
+// TestWriteChromeExtremeTimestamps covers the int64 edges of the
+// nanosecond-to-microsecond renderer.
+func TestWriteChromeExtremeTimestamps(t *testing.T) {
+	tr := NewTracer(0, 16, time.Now())
+	vals := []int64{0, 1, 999, 1000, 1001, -1, -999, -1000,
+		math.MaxInt64, math.MinInt64}
+	for _, v := range vals {
+		tr.Emit("e", v, v, v)
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, []*Tracer{tr}); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON for extreme timestamps:\n%s", buf.String())
+	}
+	s := buf.String()
+	for _, frag := range []string{
+		`"ts":0.000`, `"ts":0.001`, `"ts":0.999`, `"ts":1.000`,
+		`"ts":-0.001`, `"ts":-1.000`,
+		`"ts":9223372036854775.807`, `"ts":-9223372036854775.808`,
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("output missing %s", frag)
+		}
+	}
+}
+
+// TestWriteMicrosMonotone is the ordering property: if the source
+// nanosecond values are non-decreasing, the rendered microsecond decimals
+// compare the same way numerically (exact representation, no float
+// rounding).
+func TestWriteMicrosMonotone(t *testing.T) {
+	tr := NewTracer(0, 64, time.Now())
+	vals := []int64{-2_000_001, -2_000_000, -1, 0, 1, 2, 999, 1000, 1500,
+		1_000_000, 1_000_001, math.MaxInt64 - 1, math.MaxInt64}
+	for _, v := range vals {
+		tr.Emit("e", v, 0, 0)
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, []*Tracer{tr}); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var prev float64 = math.Inf(-1)
+	n := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		if e.Ts < prev {
+			t.Fatalf("ts regressed: %v after %v", e.Ts, prev)
+		}
+		prev = e.Ts
+		n++
+	}
+	if n != len(vals) {
+		t.Fatalf("decoded %d events, want %d", n, len(vals))
+	}
+}
+
+// TestChromeExportConcurrentRanks exercises the intended concurrency model
+// under -race: each rank goroutine writes only its own tracer; exports run
+// after the writers quiesce.
+func TestChromeExportConcurrentRanks(t *testing.T) {
+	const p = 8
+	set := NewTraceSet(256)
+	set.Ensure(p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tr := set.Rank(r)
+			for i := 0; i < 500; i++ {
+				mark := tr.Now()
+				tr.Span("comm/alltoallv", mark, int64(i))
+			}
+		}(r)
+	}
+	wg.Wait()
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, set.Tracers()); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("invalid JSON from concurrent ranks")
+	}
+	stats := PhaseSummary(set.Tracers())
+	if len(stats) != 1 || stats[0].Count != p*256 {
+		// 500 emitted into a 256 ring: 256 retained per rank.
+		t.Fatalf("phase summary %+v", stats)
+	}
+	var table bytes.Buffer
+	if err := WritePhaseTable(&table, set.Tracers()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), "events dropped") {
+		t.Fatalf("phase table did not report drops:\n%s", table.String())
+	}
+}
+
+func TestWriteMetricsTable(t *testing.T) {
+	a := NewMetrics()
+	a.Add(CAlltoallv, CollectiveStats{Calls: 3, WireBytesOut: 300, WireBytesIn: 200, SelfBytes: 44, MaxMsgBytes: 128, WaitNs: 1500, CommNs: 2500})
+	b := NewMetrics()
+	b.Add(CBarrier, CollectiveStats{Calls: 1, WaitNs: 10})
+	var buf bytes.Buffer
+	if err := WriteMetricsTable(&buf, []*Metrics{a, nil, b}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"alltoallv", "barrier", "300", "128"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "bcast") {
+		t.Fatalf("zero-call collective rendered:\n%s", out)
+	}
+}
+
+// FuzzWriteChrome asserts the exporter emits valid JSON that round-trips
+// for arbitrary names, timestamps, durations, and args.
+func FuzzWriteChrome(f *testing.F) {
+	f.Add("comm/alltoallv", int64(0), int64(100), int64(5))
+	f.Add(`"quoted"`, int64(-1), int64(math.MaxInt64), int64(math.MinInt64))
+	f.Add("\xff\x00\n", int64(math.MinInt64), int64(-1000), int64(0))
+	f.Add("", int64(999), int64(1001), int64(-1))
+	f.Fuzz(func(t *testing.T, name string, start, dur, arg int64) {
+		tr := NewTracer(1, 8, time.Now())
+		tr.Emit(name, start, dur, arg)
+		tr.Emit(name, start+1, dur, arg) // exercise the comma path too
+		var buf bytes.Buffer
+		if err := WriteChrome(&buf, []*Tracer{tr}); err != nil {
+			t.Fatal(err)
+		}
+		if !json.Valid(buf.Bytes()) {
+			t.Fatalf("invalid JSON for name=%q start=%d dur=%d arg=%d:\n%s",
+				name, start, dur, arg, buf.String())
+		}
+		var doc chromeDoc
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		nX := 0
+		for _, e := range doc.TraceEvents {
+			if e.Ph == "X" {
+				nX++
+				if e.Tid != 1 {
+					t.Fatalf("tid = %d", e.Tid)
+				}
+			}
+		}
+		if nX != 2 {
+			t.Fatalf("got %d X events, want 2", nX)
+		}
+	})
+}
+
+// FuzzPhaseTable asserts the text exporters never fail on arbitrary event
+// content.
+func FuzzPhaseTable(f *testing.F) {
+	f.Add("pagerank/iter", int64(10), int64(5))
+	f.Add("", int64(-1), int64(math.MinInt64))
+	f.Fuzz(func(t *testing.T, name string, dur, arg int64) {
+		tr := NewTracer(0, 4, time.Now())
+		tr.Emit(name, 0, dur, arg)
+		tr.Emit("comm/x", 1, dur, arg)
+		var buf bytes.Buffer
+		if err := WritePhaseTable(&buf, []*Tracer{tr}); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() == 0 {
+			t.Fatal("empty phase table")
+		}
+		_ = fmt.Sprintf("%v", PhaseSummary([]*Tracer{tr}))
+	})
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTracerRecordsInOrder(t *testing.T) {
+	tr := NewTracer(3, 8, time.Now())
+	if tr.Rank() != 3 {
+		t.Fatalf("rank = %d", tr.Rank())
+	}
+	for i := 0; i < 5; i++ {
+		tr.Emit("phase", int64(i*10), 5, int64(i))
+	}
+	if tr.Len() != 5 || tr.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d", tr.Len(), tr.Dropped())
+	}
+	ev := tr.Events()
+	for i, e := range ev {
+		if e.Name != "phase" || e.Start != int64(i*10) || e.Arg != int64(i) {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(0, 4, time.Now())
+	for i := 0; i < 10; i++ {
+		tr.Emit("e", int64(i), 1, int64(i))
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want capacity 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	ev := tr.Events()
+	// Oldest-first: the retained events are 6,7,8,9.
+	for i, e := range ev {
+		if want := int64(6 + i); e.Arg != want {
+			t.Fatalf("event %d arg = %d, want %d (events %v)", i, e.Arg, want, ev)
+		}
+	}
+}
+
+func TestTracerReset(t *testing.T) {
+	tr := NewTracer(0, 4, time.Now())
+	tr.Emit("e", 0, 1, 0)
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 || len(tr.Events()) != 0 {
+		t.Fatal("reset did not clear the ring")
+	}
+}
+
+func TestTracerSpanMeasuresNow(t *testing.T) {
+	tr := NewTracer(0, 4, time.Now())
+	mark := tr.Now()
+	tr.Span("s", mark, 7)
+	ev := tr.Events()
+	if len(ev) != 1 {
+		t.Fatalf("got %d events", len(ev))
+	}
+	if ev[0].Start != mark || ev[0].Dur < 0 || ev[0].Arg != 7 {
+		t.Fatalf("span event %+v (mark %d)", ev[0], mark)
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Now() != 0 || tr.Rank() != -1 || tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer getters not inert")
+	}
+	tr.Span("x", 0, 0)
+	tr.Emit("x", 0, 0, 0)
+	tr.Reset()
+	if tr.Events() != nil {
+		t.Fatal("nil tracer returned events")
+	}
+}
+
+// TestTracerZeroAlloc pins the zero-cost contract on both sides: emitting to
+// a live tracer stores into the preallocated ring, and the disabled (nil)
+// path is a branch — neither allocates.
+func TestTracerZeroAlloc(t *testing.T) {
+	live := NewTracer(0, 64, time.Now())
+	if n := testing.AllocsPerRun(200, func() {
+		mark := live.Now()
+		live.Span("comm/alltoallv", mark, 42)
+		live.Emit("comm/barrier", mark, 10, 0)
+	}); n != 0 {
+		t.Fatalf("live tracer: %v allocs per emit", n)
+	}
+	var nilTr *Tracer
+	if n := testing.AllocsPerRun(200, func() {
+		mark := nilTr.Now()
+		nilTr.Span("comm/alltoallv", mark, 42)
+		nilTr.Emit("comm/barrier", mark, 10, 0)
+	}); n != 0 {
+		t.Fatalf("nil tracer: %v allocs per emit", n)
+	}
+}
+
+func TestMetricsZeroAlloc(t *testing.T) {
+	m := NewMetrics()
+	s := CollectiveStats{Calls: 1, WireBytesOut: 100, MaxMsgBytes: 60}
+	if n := testing.AllocsPerRun(200, func() {
+		m.Add(CAlltoallv, s)
+	}); n != 0 {
+		t.Fatalf("metrics add: %v allocs", n)
+	}
+	var nilM *Metrics
+	if n := testing.AllocsPerRun(200, func() {
+		nilM.Add(CAlltoallv, s)
+	}); n != 0 {
+		t.Fatalf("nil metrics add: %v allocs", n)
+	}
+}
+
+func TestMetricsMerge(t *testing.T) {
+	m := NewMetrics()
+	m.Add(CAlltoallv, CollectiveStats{Calls: 1, WireBytesOut: 10, WireBytesIn: 20, SelfBytes: 5, MaxMsgBytes: 10, WaitNs: 100, CommNs: 50})
+	m.Add(CAlltoallv, CollectiveStats{Calls: 1, WireBytesOut: 30, WireBytesIn: 40, SelfBytes: 5, MaxMsgBytes: 8, WaitNs: 10, CommNs: 5})
+	m.Add(CBarrier, CollectiveStats{Calls: 2, WaitNs: 7})
+	got := m.Collective(CAlltoallv)
+	want := CollectiveStats{Calls: 2, WireBytesOut: 40, WireBytesIn: 60, SelfBytes: 10, MaxMsgBytes: 10, WaitNs: 110, CommNs: 55}
+	if got != want {
+		t.Fatalf("alltoallv = %+v, want %+v", got, want)
+	}
+	tot := m.Total()
+	if tot.Calls != 4 || tot.WaitNs != 117 || tot.MaxMsgBytes != 10 {
+		t.Fatalf("total = %+v", tot)
+	}
+	m.Reset()
+	if m.Total() != (CollectiveStats{}) {
+		t.Fatal("reset left counters")
+	}
+	var nilM *Metrics
+	if nilM.Total() != (CollectiveStats{}) || nilM.Collective(CBcast) != (CollectiveStats{}) {
+		t.Fatal("nil metrics getters not inert")
+	}
+	nilM.Add(CBcast, CollectiveStats{Calls: 1})
+	nilM.Reset()
+}
+
+func TestCollectiveNames(t *testing.T) {
+	for k := Collective(0); k < NumCollectives; k++ {
+		if k.String() == "" || k.String() == "invalid" {
+			t.Fatalf("collective %d has no name", k)
+		}
+		if k.SpanName() == "" || k.SpanName() == "comm/invalid" {
+			t.Fatalf("collective %d has no span name", k)
+		}
+	}
+	if NumCollectives.String() != "invalid" || NumCollectives.SpanName() != "comm/invalid" {
+		t.Fatal("out-of-range collective not flagged")
+	}
+}
+
+func TestTraceSet(t *testing.T) {
+	var nilSet *TraceSet
+	nilSet.Ensure(4)
+	if nilSet.Rank(0) != nil || nilSet.Tracers() != nil {
+		t.Fatal("nil set handed out tracers")
+	}
+
+	s := NewTraceSet(16)
+	s.Ensure(2)
+	a := s.Rank(0)
+	if a == nil || s.Rank(1) == nil || s.Rank(2) != nil || s.Rank(-1) != nil {
+		t.Fatal("coverage wrong after Ensure(2)")
+	}
+	a.Emit("e", 0, 1, 0)
+	s.Ensure(4)
+	if s.Rank(0) != a {
+		t.Fatal("Ensure replaced an existing tracer")
+	}
+	if len(s.Tracers()) != 4 {
+		t.Fatalf("tracers = %d", len(s.Tracers()))
+	}
+	if s.Rank(3).Rank() != 3 {
+		t.Fatalf("rank 3 tracer reports rank %d", s.Rank(3).Rank())
+	}
+}
+
+func TestPhaseSummary(t *testing.T) {
+	epoch := time.Now()
+	a := NewTracer(0, 16, epoch)
+	b := NewTracer(1, 16, epoch)
+	a.Emit("comm/alltoallv", 0, 100, 8)
+	a.Emit("pagerank/iter", 0, 900, 1)
+	b.Emit("comm/alltoallv", 10, 300, 16)
+	stats := PhaseSummary([]*Tracer{a, nil, b})
+	if len(stats) != 2 {
+		t.Fatalf("got %d phases: %+v", len(stats), stats)
+	}
+	// Sorted by total descending: pagerank/iter (900) first.
+	if stats[0].Name != "pagerank/iter" || stats[1].Name != "comm/alltoallv" {
+		t.Fatalf("order: %+v", stats)
+	}
+	at := stats[1]
+	if at.Count != 2 || at.TotalNs != 400 || at.MinNs != 100 || at.MaxNs != 300 || at.ArgSum != 24 {
+		t.Fatalf("alltoallv stat %+v", at)
+	}
+	if at.Mean() != 200 {
+		t.Fatalf("mean = %v", at.Mean())
+	}
+	if got := CommTotalNs(stats); got != 400 {
+		t.Fatalf("comm total = %d", got)
+	}
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"runtime/metrics"
+	"sort"
+	"time"
+)
+
+// StartPprof serves net/http/pprof on addr (e.g. "127.0.0.1:0" for an
+// ephemeral port) and returns the bound address plus a stop function. It is
+// the opt-in profiling hook the binaries expose behind a flag; nothing is
+// served unless this is called.
+func StartPprof(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: pprof listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// WriteRuntimeMetrics samples every scalar counter/gauge the Go runtime
+// exposes via runtime/metrics (GC cycles, heap sizes, goroutine counts, ...)
+// and writes them name-sorted as "name value" lines. Histogram-kind metrics
+// are summarized by their total sample count. It is a point-in-time
+// snapshot intended for before/after comparison around a measured region.
+func WriteRuntimeMetrics(w io.Writer) error {
+	descs := metrics.All()
+	samples := make([]metrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	metrics.Read(samples)
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Name < samples[j].Name })
+	for _, s := range samples {
+		var err error
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			_, err = fmt.Fprintf(w, "%s %d\n", s.Name, s.Value.Uint64())
+		case metrics.KindFloat64:
+			_, err = fmt.Fprintf(w, "%s %g\n", s.Name, s.Value.Float64())
+		case metrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			var n uint64
+			for _, c := range h.Counts {
+				n += c
+			}
+			_, err = fmt.Fprintf(w, "%s samples=%d\n", s.Name, n)
+		default:
+			// KindBad or future kinds: skip rather than fail the snapshot.
+		}
+		if err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "snapshot_unix_ns %d\n", time.Now().UnixNano())
+	return err
+}
