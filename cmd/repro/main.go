@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/comm"
 	"repro/internal/harness"
 	"repro/internal/obs"
 )
@@ -34,6 +35,7 @@ func main() {
 		traceCap = flag.Int("trace-cap", 0, "per-rank trace ring capacity in events (0 = default 64Ki)")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060) for the run's duration")
 		rtm      = flag.Bool("runtime-metrics", false, "dump a runtime/metrics snapshot to stderr after the run")
+		retries  = flag.Int("retries", 1, "max attempts per exchange on transient comm faults (1 = no retry)")
 	)
 	flag.Parse()
 
@@ -52,6 +54,10 @@ func main() {
 	cfg.Threads = *threads
 	cfg.Seed = *seed
 	cfg.TmpDir = *tmp
+	if *retries > 1 {
+		cfg.Retry = comm.DefaultRetryPolicy()
+		cfg.Retry.MaxAttempts = *retries
+	}
 	if *trace != "" {
 		cfg.Trace = obs.NewTraceSet(*traceCap)
 	}

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -44,6 +45,13 @@ func main() {
 		traceCap = flag.Int("trace-cap", 0, "trace ring capacity in events (0 = default 64Ki)")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address for the run's duration")
 		stats    = flag.Bool("stats", false, "print this rank's per-collective counters after the run")
+
+		retries   = flag.Int("retries", 1, "max attempts per exchange on transient comm faults (1 = no retry)")
+		retryBase = flag.Duration("retry-base", time.Millisecond, "base backoff delay between retry attempts")
+		deadline  = flag.Duration("exchange-deadline", 0, "per-frame read/write deadline on peer connections (0 = none)")
+		ckptEvery = flag.Int("ckpt-every", 0, "checkpoint PageRank state every K iterations (0 = off)")
+		ckptDir   = flag.String("ckpt-dir", "", "directory for per-rank checkpoint files (with -ckpt-every or -resume)")
+		resume    = flag.Bool("resume", false, "resume PageRank from this rank's checkpoint in -ckpt-dir")
 	)
 	flag.Parse()
 	addrList := strings.Split(*addrs, ",")
@@ -95,8 +103,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *deadline > 0 {
+		tr.SetExchangeDeadline(*deadline)
+	}
 	c := comm.New(tr)
 	defer c.Close()
+	if *retries > 1 {
+		rp := comm.DefaultRetryPolicy()
+		rp.MaxAttempts = *retries
+		rp.BaseDelay = *retryBase
+		rp.Seed = uint64(*rank) + 1
+		c.SetRetryPolicy(rp)
+	}
 	var tracer *obs.Tracer
 	if *trace != "" {
 		tracer = obs.NewTracer(*rank, *traceCap, time.Now())
@@ -124,8 +142,31 @@ func main() {
 	fmt.Printf("rank %d: built shard nloc=%d ngst=%d (construction %.3fs)\n",
 		*rank, g.NLoc, g.NGst, tm.Total().Seconds())
 
+	prOpts := analytics.PageRankOptions{Iterations: *prIters, Damping: 0.85}
+	var ckptPath string
+	if *ckptEvery > 0 || *resume {
+		if *ckptDir == "" {
+			fatal(fmt.Errorf("-ckpt-every and -resume require -ckpt-dir"))
+		}
+		ckptPath = filepath.Join(*ckptDir, fmt.Sprintf("pagerank.rank%04d.ckpt", *rank))
+	}
+	if *ckptEvery > 0 {
+		prOpts.Checkpoint.Every = *ckptEvery
+		prOpts.Checkpoint.Sink = func(cp *analytics.Checkpoint) error {
+			return analytics.WriteCheckpointFile(ckptPath, cp)
+		}
+	}
+	if *resume {
+		cp, err := analytics.ReadCheckpointFile(ckptPath)
+		if err != nil {
+			fatal(fmt.Errorf("resume: %w", err))
+		}
+		prOpts.Checkpoint.Resume = cp
+		fmt.Printf("rank %d: resuming PageRank from iteration %d (%s)\n", *rank, cp.Iter, ckptPath)
+	}
+
 	start := time.Now()
-	pr, err := analytics.PageRank(ctx, g, analytics.PageRankOptions{Iterations: *prIters, Damping: 0.85})
+	pr, err := analytics.PageRank(ctx, g, prOpts)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,411 @@
+package analytics
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/partition"
+)
+
+func checkpointsEqual(a, b *Checkpoint) bool {
+	if a.Analytic != b.Analytic || a.Iter != b.Iter || a.Rank != b.Rank ||
+		a.Size != b.Size || a.NLoc != b.NLoc ||
+		len(a.F64) != len(b.F64) || len(a.U32) != len(b.U32) {
+		return false
+	}
+	for i := range a.F64 {
+		if math.Float64bits(a.F64[i]) != math.Float64bits(b.F64[i]) {
+			return false
+		}
+	}
+	for i := range a.U32 {
+		if a.U32[i] != b.U32[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCheckpointEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []*Checkpoint{
+		{Analytic: "pagerank", Iter: 7, Rank: 2, Size: 4, NLoc: 3,
+			F64: []float64{0.25, -1e300, math.Inf(1), math.NaN()}},
+		{Analytic: "labelprop", Iter: 1, Rank: 0, Size: 1, NLoc: 2,
+			U32: []uint32{0, 0xFFFFFFFF, 7}},
+		{Analytic: "harmonic-topk", Iter: 3, Rank: 1, Size: 2, NLoc: 128,
+			F64: []float64{1.5, 2.5, 3.5}, U32: []uint32{9, 8, 7, 6}},
+		{Analytic: "", Iter: 0, Rank: 0, Size: 0, NLoc: 0},
+	}
+	for i, cp := range cases {
+		got, err := DecodeCheckpoint(cp.Encode())
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !checkpointsEqual(cp, got) {
+			t.Errorf("case %d: round trip mutated the checkpoint:\n%+v\nvs\n%+v", i, cp, got)
+		}
+	}
+}
+
+func TestCheckpointDecodeCorrupt(t *testing.T) {
+	valid := (&Checkpoint{Analytic: "pagerank", Iter: 4, Rank: 1, Size: 2, NLoc: 3,
+		F64: []float64{1, 2, 3}, U32: []uint32{4, 5}}).Encode()
+
+	// Every strict prefix must fail cleanly (or be rejected as trailing-
+	// garbage-free truncation), never panic or succeed.
+	for n := 0; n < len(valid); n++ {
+		if _, err := DecodeCheckpoint(valid[:n]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded successfully", n, len(valid))
+		}
+	}
+	// Trailing garbage must be rejected too.
+	if _, err := DecodeCheckpoint(append(append([]byte(nil), valid...), 0xEE)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+
+	mutate := func(name string, fn func(b []byte)) {
+		b := append([]byte(nil), valid...)
+		fn(b)
+		if _, err := DecodeCheckpoint(b); err == nil {
+			t.Errorf("%s: corrupt checkpoint decoded successfully", name)
+		}
+	}
+	mutate("bad magic", func(b []byte) { b[0] ^= 0xFF })
+	mutate("future version", func(b []byte) { binary.LittleEndian.PutUint32(b[4:8], 99) })
+	mutate("name overruns data", func(b []byte) { binary.LittleEndian.PutUint16(b[8:10], 0xFFFF) })
+	// A section length far beyond the data must fail before allocating: the
+	// f64 count sits after the 10-byte prefix, 8-char name, and 20 bytes of
+	// iter/rank/size/nloc.
+	mutate("huge f64 section", func(b []byte) {
+		binary.LittleEndian.PutUint64(b[10+8+20:], 1<<60)
+	})
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	cp := &Checkpoint{Analytic: "pagerank", Iter: 9, Rank: 0, Size: 2, NLoc: 5,
+		F64: []float64{0.1, 0.2, 0.3, 0.4, 0.5}}
+	path := filepath.Join(t.TempDir(), "rank0.ckpt")
+	if err := WriteCheckpointFile(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !checkpointsEqual(cp, got) {
+		t.Fatalf("file round trip mutated the checkpoint: %+v vs %+v", cp, got)
+	}
+}
+
+// snapStore retains every checkpoint each rank emits, keyed rank → iter.
+type snapStore struct {
+	mu sync.Mutex
+	by map[int]map[int]*Checkpoint
+}
+
+func newSnapStore() *snapStore { return &snapStore{by: make(map[int]map[int]*Checkpoint)} }
+
+func (s *snapStore) sink(cp *Checkpoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.by[cp.Rank] == nil {
+		s.by[cp.Rank] = make(map[int]*Checkpoint)
+	}
+	s.by[cp.Rank][cp.Iter] = cp
+	return nil
+}
+
+// latest returns rank's newest snapshot at or below maxIter (nil if none).
+func (s *snapStore) latest(rank, maxIter int) *Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var best *Checkpoint
+	for it, cp := range s.by[rank] {
+		if it <= maxIter && (best == nil || it > best.Iter) {
+			best = cp
+		}
+	}
+	return best
+}
+
+// buildCkptGraph builds the shared deterministic test graph: the same
+// (seed, size) always yields the same shards.
+func buildCkptGraph(ctx *core.Ctx, seed uint64) (*core.Graph, error) {
+	spec := gen.Spec{Kind: gen.RMAT, NumVertices: 256, NumEdges: 2048, Seed: seed}
+	pt := partition.NewRandom(spec.NumVertices, ctx.Size(), 3)
+	g, _, err := core.Build(ctx, core.SpecSource{Spec: spec}, pt)
+	return g, err
+}
+
+// runRanks runs body over p in-process ranks and fails the test on error.
+func runRanks(t *testing.T, p int, body func(ctx *core.Ctx) error) {
+	t.Helper()
+	if err := comm.RunLocal(p, func(c *comm.Comm) error {
+		return body(core.NewCtx(c, 1))
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPageRankCheckpointResumeProperty pins resume(checkpoint(run, k)) ==
+// uninterrupted run: one instrumented run captures a snapshot after every
+// iteration, then fresh groups resume from a spread of kill points and must
+// finish with bitwise-identical scores, across seeds and rank counts.
+func TestPageRankCheckpointResumeProperty(t *testing.T) {
+	const iters = 10
+	for _, tc := range []struct {
+		p    int
+		seed uint64
+	}{{1, 11}, {2, 12}, {3, 13}, {4, 14}} {
+		tc := tc
+		t.Run(fmt.Sprintf("p=%d/seed=%d", tc.p, tc.seed), func(t *testing.T) {
+			golden := make(map[int][]float64)
+			store := newSnapStore()
+			var mu sync.Mutex
+			runRanks(t, tc.p, func(ctx *core.Ctx) error {
+				g, err := buildCkptGraph(ctx, tc.seed)
+				if err != nil {
+					return err
+				}
+				opts := DefaultPageRank()
+				opts.Iterations = iters
+				opts.Checkpoint = CheckpointConfig{Every: 1, Sink: store.sink}
+				res, err := PageRank(ctx, g, opts)
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				golden[ctx.Rank()] = res.Scores
+				mu.Unlock()
+				return nil
+			})
+
+			for _, kill := range []int{1, iters / 2, iters - 1} {
+				kill := kill
+				resumed := make(map[int][]float64)
+				runRanks(t, tc.p, func(ctx *core.Ctx) error {
+					g, err := buildCkptGraph(ctx, tc.seed)
+					if err != nil {
+						return err
+					}
+					rcp := store.latest(ctx.Rank(), kill)
+					if rcp == nil || rcp.Iter != kill {
+						return fmt.Errorf("rank %d: no snapshot at iteration %d", ctx.Rank(), kill)
+					}
+					opts := DefaultPageRank()
+					opts.Iterations = iters
+					opts.Checkpoint = CheckpointConfig{Resume: rcp}
+					res, err := PageRank(ctx, g, opts)
+					if err != nil {
+						return err
+					}
+					mu.Lock()
+					resumed[ctx.Rank()] = res.Scores
+					mu.Unlock()
+					return nil
+				})
+				for r := 0; r < tc.p; r++ {
+					if len(golden[r]) != len(resumed[r]) {
+						t.Fatalf("kill=%d rank %d: %d vs %d scores", kill, r, len(golden[r]), len(resumed[r]))
+					}
+					for v := range golden[r] {
+						if math.Float64bits(golden[r][v]) != math.Float64bits(resumed[r][v]) {
+							t.Fatalf("kill=%d rank %d vertex %d: resumed %v != golden %v",
+								kill, r, v, resumed[r][v], golden[r][v])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLabelPropCheckpointResumeProperty is the same property for Label
+// Propagation (including the ghost-refresh exchange on resume).
+func TestLabelPropCheckpointResumeProperty(t *testing.T) {
+	const iters = 6
+	for _, tc := range []struct {
+		p    int
+		seed uint64
+	}{{2, 21}, {3, 22}, {4, 23}} {
+		tc := tc
+		t.Run(fmt.Sprintf("p=%d/seed=%d", tc.p, tc.seed), func(t *testing.T) {
+			golden := make(map[int][]uint32)
+			store := newSnapStore()
+			var mu sync.Mutex
+			opts := LabelPropOptions{Iterations: iters, RandomTies: true, TieSeed: 99}
+			runRanks(t, tc.p, func(ctx *core.Ctx) error {
+				g, err := buildCkptGraph(ctx, tc.seed)
+				if err != nil {
+					return err
+				}
+				o := opts
+				o.Checkpoint = CheckpointConfig{Every: 1, Sink: store.sink}
+				res, err := LabelProp(ctx, g, o)
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				golden[ctx.Rank()] = res.Labels
+				mu.Unlock()
+				return nil
+			})
+
+			for _, kill := range []int{1, 3, iters - 1} {
+				kill := kill
+				resumed := make(map[int][]uint32)
+				runRanks(t, tc.p, func(ctx *core.Ctx) error {
+					g, err := buildCkptGraph(ctx, tc.seed)
+					if err != nil {
+						return err
+					}
+					rcp := store.latest(ctx.Rank(), kill)
+					if rcp == nil || rcp.Iter != kill {
+						return fmt.Errorf("rank %d: no snapshot at iteration %d", ctx.Rank(), kill)
+					}
+					o := opts
+					o.Checkpoint = CheckpointConfig{Resume: rcp}
+					res, err := LabelProp(ctx, g, o)
+					if err != nil {
+						return err
+					}
+					mu.Lock()
+					resumed[ctx.Rank()] = res.Labels
+					mu.Unlock()
+					return nil
+				})
+				for r := 0; r < tc.p; r++ {
+					for v := range golden[r] {
+						if golden[r][v] != resumed[r][v] {
+							t.Fatalf("kill=%d rank %d vertex %d: resumed label %d != golden %d",
+								kill, r, v, resumed[r][v], golden[r][v])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestHarmonicCheckpointResumeProperty is the property for the top-k
+// harmonic sweep, whose iteration unit is one completed source vertex.
+func TestHarmonicCheckpointResumeProperty(t *testing.T) {
+	const topk = 8
+	for _, tc := range []struct {
+		p    int
+		seed uint64
+	}{{2, 31}, {3, 32}} {
+		tc := tc
+		t.Run(fmt.Sprintf("p=%d/seed=%d", tc.p, tc.seed), func(t *testing.T) {
+			golden := make(map[int][]VertexScore)
+			store := newSnapStore()
+			var mu sync.Mutex
+			runRanks(t, tc.p, func(ctx *core.Ctx) error {
+				g, err := buildCkptGraph(ctx, tc.seed)
+				if err != nil {
+					return err
+				}
+				res, err := HarmonicTopKCheckpointed(ctx, g, topk, CheckpointConfig{Every: 1, Sink: store.sink})
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				golden[ctx.Rank()] = res
+				mu.Unlock()
+				return nil
+			})
+
+			for _, kill := range []int{1, topk / 2, topk - 1} {
+				kill := kill
+				resumed := make(map[int][]VertexScore)
+				runRanks(t, tc.p, func(ctx *core.Ctx) error {
+					g, err := buildCkptGraph(ctx, tc.seed)
+					if err != nil {
+						return err
+					}
+					rcp := store.latest(ctx.Rank(), kill)
+					if rcp == nil || rcp.Iter != kill {
+						return fmt.Errorf("rank %d: no snapshot at vertex %d", ctx.Rank(), kill)
+					}
+					res, err := HarmonicTopKCheckpointed(ctx, g, topk, CheckpointConfig{Resume: rcp})
+					if err != nil {
+						return err
+					}
+					mu.Lock()
+					resumed[ctx.Rank()] = res
+					mu.Unlock()
+					return nil
+				})
+				for r := 0; r < tc.p; r++ {
+					if len(golden[r]) != len(resumed[r]) {
+						t.Fatalf("kill=%d rank %d: %d vs %d entries", kill, r, len(golden[r]), len(resumed[r]))
+					}
+					for i := range golden[r] {
+						if golden[r][i].Vertex != resumed[r][i].Vertex ||
+							math.Float64bits(golden[r][i].Score) != math.Float64bits(resumed[r][i].Score) {
+							t.Fatalf("kill=%d rank %d entry %d: %+v != %+v",
+								kill, r, i, resumed[r][i], golden[r][i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointResumeValidation pins the rejection paths: a snapshot from
+// the wrong analytic, rank, or shard shape must fail loudly, not corrupt a
+// run.
+func TestCheckpointResumeValidation(t *testing.T) {
+	runRanks(t, 2, func(ctx *core.Ctx) error {
+		g, err := buildCkptGraph(ctx, 41)
+		if err != nil {
+			return err
+		}
+		mk := func(mut func(cp *Checkpoint)) CheckpointConfig {
+			cp := &Checkpoint{Analytic: "pagerank", Iter: 2,
+				Rank: ctx.Rank(), Size: ctx.Size(), NLoc: g.NLoc,
+				F64: make([]float64, g.NLoc)}
+			mut(cp)
+			return CheckpointConfig{Resume: cp}
+		}
+		opts := DefaultPageRank()
+		opts.Checkpoint = mk(func(cp *Checkpoint) { cp.Analytic = "labelprop" })
+		if _, err := PageRank(ctx, g, opts); err == nil {
+			return errors.New("wrong-analytic checkpoint accepted")
+		}
+		opts.Checkpoint = mk(func(cp *Checkpoint) { cp.Rank = cp.Rank + 1 })
+		if _, err := PageRank(ctx, g, opts); err == nil {
+			return errors.New("wrong-rank checkpoint accepted")
+		}
+		opts.Checkpoint = mk(func(cp *Checkpoint) { cp.NLoc++ })
+		if _, err := PageRank(ctx, g, opts); err == nil {
+			return errors.New("wrong-shape checkpoint accepted")
+		}
+		// Resumption is collective: ranks holding snapshots of different
+		// iterations must be rejected on every rank, not silently diverge.
+		opts.Checkpoint = mk(func(cp *Checkpoint) { cp.Iter = 2 + ctx.Rank() })
+		if _, err := PageRank(ctx, g, opts); err == nil {
+			return errors.New("mixed-iteration resume accepted")
+		}
+		// A well-formed snapshot still resumes after the rejections above.
+		opts = DefaultPageRank()
+		opts.Iterations = 3
+		store := newSnapStore()
+		opts.Checkpoint = CheckpointConfig{Every: 1, Sink: store.sink}
+		if _, err := PageRank(ctx, g, opts); err != nil {
+			return err
+		}
+		opts.Checkpoint = CheckpointConfig{Resume: store.latest(ctx.Rank(), 2)}
+		_, err = PageRank(ctx, g, opts)
+		return err
+	})
+}

@@ -18,6 +18,12 @@ const (
 	OpMax
 )
 
+// corruptErr builds the rank-attributed CommError for a peer payload that
+// failed validation (truncated or spliced in flight): fatal, not retryable.
+func corruptErr(c *Comm, peer int, format string, args ...any) error {
+	return &CommError{Rank: c.Rank(), Peer: peer, Kind: KindCorrupt, Attempt: 1, Err: fmt.Errorf(format, args...)}
+}
+
 // apply combines two values with op.
 func apply[T Scalar](op Op, a, b T) T {
 	switch op {
@@ -104,7 +110,7 @@ func AlltoallvInto[T Scalar](c *Comm, send []T, counts []int, recv []T, recvCoun
 		if r == self {
 			recvCounts[r] = selfHi - selfLo
 		} else if len(m)%es != 0 {
-			derr = fmt.Errorf("comm: Alltoallv message from rank %d has ragged length %d", r, len(m))
+			derr = corruptErr(c, r, "comm: Alltoallv message from rank %d has ragged length %d", r, len(m))
 			break
 		} else {
 			recvCounts[r] = len(m) / es
@@ -187,7 +193,7 @@ func Allgather[T Scalar](c *Comm, v T) ([]T, error) {
 		if r == self {
 			res[r] = v
 		} else if len(m) != es {
-			derr = fmt.Errorf("comm: Allgather bad message from rank %d", r)
+			derr = corruptErr(c, r, "comm: Allgather bad message from rank %d", r)
 			break
 		} else {
 			decodeInto(res[r:r+1], m)
@@ -222,7 +228,7 @@ func Allgatherv[T Scalar](c *Comm, vals []T) (all []T, counts []int, err error) 
 		if r == self {
 			counts[r] = len(vals)
 		} else if len(m)%es != 0 {
-			derr = fmt.Errorf("comm: Allgatherv message from rank %d has ragged length %d", r, len(m))
+			derr = corruptErr(c, r, "comm: Allgatherv message from rank %d has ragged length %d", r, len(m))
 			break
 		} else {
 			counts[r] = len(m) / es
@@ -277,7 +283,7 @@ func Bcast[T Scalar](c *Comm, vals []T, root int) ([]T, error) {
 	if self != root {
 		es := sizeOf[T]()
 		if len(in[root])%es != 0 {
-			derr = fmt.Errorf("comm: message length %d not a multiple of element size %d", len(in[root]), es)
+			derr = corruptErr(c, root, "comm: Bcast message length %d not a multiple of element size %d", len(in[root]), es)
 		} else {
 			res = make([]T, len(in[root])/es)
 			decodeInto(res, in[root])
@@ -388,7 +394,7 @@ func MaxLoc[T Scalar](c *Comm, v T, payload uint64) (maxVal T, maxPayload uint64
 		if r == self {
 			val, pl = v, payload
 		} else if len(m) != es+8 {
-			derr = fmt.Errorf("comm: MaxLoc bad message from rank %d", r)
+			derr = corruptErr(c, r, "comm: MaxLoc bad message from rank %d", r)
 			break
 		} else {
 			var one [1]T

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"errors"
 	"time"
 
 	"repro/internal/obs"
@@ -25,8 +26,13 @@ type Comm struct {
 	outMsgs [][]byte
 
 	// In-flight exchange bookkeeping for the begin/end pair.
-	xstart time.Time
-	xwait  time.Duration
+	xstart   time.Time
+	xwait    time.Duration
+	xretries uint64
+
+	// retry is the per-exchange retry policy; the zero value means a
+	// single attempt (no fault tolerance).
+	retry RetryPolicy
 
 	// Observability hooks, both nil by default (the zero-cost-disabled
 	// contract: every hot-path touch below is a nil check or a plain
@@ -55,6 +61,10 @@ type Stats struct {
 	BytesRecv uint64
 	// Exchanges counts transport rounds (each collective is one or more).
 	Exchanges uint64
+	// Retries counts re-attempted rounds: transient transport failures the
+	// retry policy absorbed before the round eventually committed (or gave
+	// up). Zero on a fault-free run.
+	Retries uint64
 }
 
 // Total returns the wall time covered by the breakdown.
@@ -64,6 +74,12 @@ func (s Stats) Total() time.Duration { return s.Comp + s.CommT + s.Idle }
 func New(tr Transport) *Comm {
 	c := &Comm{tr: tr, mark: time.Now()}
 	c.br, _ = tr.(BorrowReader)
+	// A wrapper's forwarding methods make it satisfy BorrowReader even
+	// when its wrapped transport (or its own configuration) cannot honor
+	// them; the gate reports whether the chain actually supports borrows.
+	if g, ok := tr.(BorrowGater); ok && !g.CanBorrow() {
+		c.br = nil
+	}
 	return c
 }
 
@@ -144,6 +160,12 @@ func (c *Comm) sendBuffers() [][]byte {
 // supports it: the caller must finish reading them, then call endExchange
 // (with the same out and in) exactly once. On error the round is already
 // closed out and endExchange must not be called.
+//
+// Transient transport failures (a fault detected before the round was
+// consumed) are re-attempted under the installed RetryPolicy with
+// exponential backoff; peers of a retrying rank simply wait longer at the
+// rendezvous, so retries never desynchronize the group. All failures
+// surface as rank-attributed *CommError values.
 func (c *Comm) beginExchange(out [][]byte) ([][]byte, error) {
 	start := time.Now()
 	c.stats.Comp += start.Sub(c.mark)
@@ -154,16 +176,26 @@ func (c *Comm) beginExchange(out [][]byte) ([][]byte, error) {
 
 	var in [][]byte
 	var err error
-	if c.br != nil {
-		in, c.xwait, err = c.br.BeginBorrow(out)
-	} else {
-		in, c.xwait, err = c.tr.Exchange(out)
+	maxAttempts := c.retry.attempts()
+	attempt := 1
+	for {
+		if c.br != nil {
+			in, c.xwait, err = c.br.BeginBorrow(out)
+		} else {
+			in, c.xwait, err = c.tr.Exchange(out)
+		}
+		if err == nil {
+			return in, nil
+		}
+		if attempt >= maxAttempts || !Retryable(err) {
+			break
+		}
+		c.xretries++
+		c.retry.backoff(attempt)
+		attempt++
 	}
-	if err != nil {
-		c.settle(nil, nil)
-		return nil, err
-	}
-	return in, nil
+	c.settle(nil, nil)
+	return nil, c.wrapErr(err, attempt)
 }
 
 // endExchange completes the round opened by beginExchange: it releases
@@ -178,10 +210,23 @@ func (c *Comm) endExchange(out, in [][]byte) error {
 	}
 	if err != nil {
 		c.settle(nil, nil)
-		return err
+		return c.wrapErr(err, 1)
 	}
 	c.settle(out, in)
 	return nil
+}
+
+// wrapErr promotes err to a rank-attributed *CommError (leaving an existing
+// CommError intact), recording how many attempts the round consumed.
+func (c *Comm) wrapErr(err error, attempt int) error {
+	if err == nil {
+		return nil
+	}
+	var ce *CommError
+	if errors.As(err, &ce) {
+		return err
+	}
+	return &CommError{Rank: c.Rank(), Peer: -1, Kind: Classify(err), Attempt: attempt, Err: err}
 }
 
 // settle closes out the in-flight round's timing, and (on success, when out
@@ -199,6 +244,7 @@ func (c *Comm) settle(out, in [][]byte) {
 	c.stats.Idle += wait
 	c.stats.CommT += elapsed - wait
 	c.stats.Exchanges++
+	c.stats.Retries += c.xretries
 	c.mark = end
 	c.xwait = 0
 	self := c.Rank()
@@ -220,6 +266,7 @@ func (c *Comm) settle(out, in [][]byte) {
 	}
 	c.cur = obs.CNone
 	c.xself = 0
+	c.xretries = 0
 }
 
 // observe reports one settled round to the attached tracer and counters.
@@ -239,6 +286,7 @@ func (c *Comm) observe(out [][]byte, elapsed, wait time.Duration, sent, recvd ui
 			WireBytesIn:  recvd,
 			SelfBytes:    c.xself,
 			MaxMsgBytes:  maxMsg,
+			Retries:      c.xretries,
 			WaitNs:       wait.Nanoseconds(),
 			CommNs:       (elapsed - wait).Nanoseconds(),
 		})

@@ -35,13 +35,15 @@ func conformanceTransports() []conformanceTransport {
 		}},
 		{"faulty-wrapped", func(t *testing.T, size int, fn func(c *Comm) error) {
 			t.Helper()
-			// FailAt=0 never fires: the wrapper only serves to hide the
-			// BorrowReader capability so every collective takes the copying
-			// Exchange path.
+			// FailAt=0 never fires: the wrapper only serves to force the
+			// copying Exchange path (ForceCopy hides the BorrowReader
+			// capability), covering it on a borrow-capable transport.
 			trs := NewLocalGroup(size)
 			comms := make([]*Comm, size)
 			for r := range trs {
-				comms[r] = New(NewFaultyTransport(trs[r], 0))
+				ft := NewFaultyTransport(trs[r], 0)
+				ft.ForceCopy = true
+				comms[r] = New(ft)
 			}
 			if err := RunOn(comms, fn); err != nil {
 				t.Fatal(err)

@@ -2,39 +2,61 @@ package comm
 
 import (
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"time"
 )
 
 // ErrInjected is the error produced by a FaultyTransport when its trigger
-// fires.
+// fires: a hard fault, not retryable.
 var ErrInjected = errors.New("comm: injected fault")
 
-// FaultyTransport wraps a transport and fails the Nth Exchange call
-// (1-based) with ErrInjected, aborting the group so sibling ranks do not
-// deadlock. It exists for failure-injection tests: every collective-using
-// code path must surface a clean error when the fabric fails mid-run,
-// which is how real deployments die.
+// FaultyTransport wraps a transport and fails the Nth round (1-based) with
+// ErrInjected, aborting the group so sibling ranks do not deadlock. It
+// exists for failure-injection tests: every collective-using code path must
+// surface a clean error when the fabric fails mid-run, which is how real
+// deployments die. (For richer, reproducible fault programs — transient
+// drops, delays, duplicated and truncated payloads — see ScheduledTransport
+// and FaultSchedule.)
 //
-// FaultyTransport deliberately does not forward the wrapped transport's
-// BorrowReader capability (the embedded interface hides it): every
-// collective on a faulty transport goes through Exchange, so FailAt counts
-// rounds exactly regardless of which path the code under test would take.
+// The wrapped transport's BorrowReader capability is forwarded explicitly:
+// a faulty wrapper over a borrow-capable transport exercises the same
+// zero-copy path production uses, and both paths share one round counter so
+// FailAt means the same round either way. Set ForceCopy to hide the
+// capability and pin every collective to the copying Exchange path (the
+// conformance suite uses this to cover that path on a borrow-capable
+// transport).
 type FaultyTransport struct {
 	Transport
-	// FailAt is the 1-based Exchange call that fails; 0 disables.
+	// FailAt is the 1-based round that fails; 0 disables.
 	FailAt uint64
+	// ForceCopy hides the wrapped transport's BorrowReader capability so
+	// every collective goes through the copying Exchange path.
+	ForceCopy bool
 
-	calls atomic.Uint64
+	calls    atomic.Uint64
+	borrowed atomic.Uint64
+	copied   atomic.Uint64
 }
 
-// NewFaultyTransport wraps tr to fail its failAt-th exchange.
+// NewFaultyTransport wraps tr to fail its failAt-th round.
 func NewFaultyTransport(tr Transport, failAt uint64) *FaultyTransport {
 	return &FaultyTransport{Transport: tr, FailAt: failAt}
 }
 
-// Exchange implements Transport.
-func (f *FaultyTransport) Exchange(out [][]byte) ([][]byte, time.Duration, error) {
+// CanBorrow implements BorrowGater: borrows are forwarded iff the wrapped
+// transport supports them and ForceCopy is off.
+func (f *FaultyTransport) CanBorrow() bool {
+	if f.ForceCopy {
+		return false
+	}
+	_, ok := f.Transport.(BorrowReader)
+	return ok
+}
+
+// trip counts one round and reports whether the injected fault fires on it,
+// waking blocked peers when it does.
+func (f *FaultyTransport) trip() bool {
 	n := f.calls.Add(1)
 	if f.FailAt != 0 && n == f.FailAt {
 		// Wake the peers: a locally-detected fabric error must not leave
@@ -42,13 +64,52 @@ func (f *FaultyTransport) Exchange(out [][]byte) ([][]byte, time.Duration, error
 		if a, ok := f.Transport.(aborter); ok {
 			a.Abort()
 		}
+		return true
+	}
+	return false
+}
+
+// Exchange implements Transport.
+func (f *FaultyTransport) Exchange(out [][]byte) ([][]byte, time.Duration, error) {
+	if f.trip() {
 		return nil, 0, ErrInjected
 	}
+	f.copied.Add(1)
 	return f.Transport.Exchange(out)
 }
 
-// Calls reports how many exchanges have been attempted.
+// BeginBorrow implements BorrowReader by forwarding to the wrapped
+// transport; it counts against the same FailAt round counter as Exchange.
+func (f *FaultyTransport) BeginBorrow(out [][]byte) ([][]byte, time.Duration, error) {
+	br, ok := f.Transport.(BorrowReader)
+	if !ok || f.ForceCopy {
+		return nil, 0, fmt.Errorf("comm: BeginBorrow on a faulty transport without borrow capability")
+	}
+	if f.trip() {
+		return nil, 0, ErrInjected
+	}
+	f.borrowed.Add(1)
+	return br.BeginBorrow(out)
+}
+
+// EndBorrow implements BorrowReader. The closing half of a round does not
+// advance the round counter.
+func (f *FaultyTransport) EndBorrow() (time.Duration, error) {
+	br, ok := f.Transport.(BorrowReader)
+	if !ok {
+		return 0, fmt.Errorf("comm: EndBorrow on a faulty transport without borrow capability")
+	}
+	return br.EndBorrow()
+}
+
+// Calls reports how many rounds have been attempted (either path).
 func (f *FaultyTransport) Calls() uint64 { return f.calls.Load() }
+
+// BorrowedRounds reports rounds that ran through the zero-copy borrow path.
+func (f *FaultyTransport) BorrowedRounds() uint64 { return f.borrowed.Load() }
+
+// CopiedRounds reports rounds that ran through the copying Exchange path.
+func (f *FaultyTransport) CopiedRounds() uint64 { return f.copied.Load() }
 
 // Abort forwards to the wrapped transport when supported.
 func (f *FaultyTransport) Abort() {

@@ -1,0 +1,108 @@
+package comm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"runtime"
+	"testing"
+)
+
+// frameBytes encodes one wire frame exactly as writeFrame does, for tests
+// that need raw bytes rather than a net.Conn.
+func frameBytes(seq uint64, payload []byte) []byte {
+	b := make([]byte, 20+len(payload))
+	binary.LittleEndian.PutUint32(b[0:4], tcpMagic)
+	binary.LittleEndian.PutUint64(b[4:12], seq)
+	binary.LittleEndian.PutUint64(b[12:20], uint64(len(payload)))
+	copy(b[20:], payload)
+	return b
+}
+
+// FuzzFrameDecode feeds arbitrary bytes to the TCP length-framed decoder.
+// The contract under fuzz: readFrame returns an error on anything malformed
+// — truncated headers, bad magic, oversized or lying length fields,
+// bit-flipped payload boundaries — and never panics or allocates beyond the
+// bytes that actually arrive (see TestReadFrameCorruptLengthDoesNotOverAllocate
+// for the allocation bound). On success the decode must be the exact inverse
+// of the frame encoding.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add(frameBytes(1, []byte("hello frame")))
+	f.Add(frameBytes(0, nil))
+	f.Add(frameBytes(1<<63, bytes.Repeat([]byte{0xAB}, 300)))
+	f.Add(frameBytes(2, []byte("x"))[:7]) // truncated header
+	bad := frameBytes(3, []byte{1, 2, 3})
+	bad[0] ^= 0xFF // bit-flipped magic
+	f.Add(bad)
+	over := frameBytes(4, nil)
+	binary.LittleEndian.PutUint64(over[12:20], maxFrameLen+1) // oversized length
+	f.Add(over)
+	lying := frameBytes(5, []byte{9, 9})
+	binary.LittleEndian.PutUint64(lying[12:20], 1<<29) // length >> actual data
+	f.Add(lying)
+	short := frameBytes(6, bytes.Repeat([]byte{7}, 64))
+	f.Add(short[:40]) // torn payload
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, seq, err := readFrame(bytes.NewReader(data), nil)
+		if err != nil {
+			return
+		}
+		if uint64(len(payload)) > maxFrameLen {
+			t.Fatalf("decoded %d payload bytes past the frame limit", len(payload))
+		}
+		if len(data) < 20+len(payload) {
+			t.Fatalf("decoded %d payload bytes from %d input bytes", len(payload), len(data))
+		}
+		// A successful decode must be the inverse of the encoder: re-encoding
+		// (seq, payload) reproduces the consumed prefix of the input.
+		if want := frameBytes(seq, payload); !bytes.Equal(want, data[:len(want)]) {
+			t.Fatalf("re-encoded frame differs from consumed input")
+		}
+
+		// The same frame through the caller-buffer path must agree.
+		buf := make([]byte, 0, len(payload))
+		p2, s2, err := readFrame(bytes.NewReader(data), buf)
+		if err != nil || s2 != seq || !bytes.Equal(p2, payload) {
+			t.Fatalf("buffered decode diverges: %v / seq %d vs %d", err, s2, seq)
+		}
+	})
+}
+
+// TestReadFrameCorruptLengthDoesNotOverAllocate pins the incremental
+// allocation bound: a header advertising half a gigabyte whose payload never
+// arrives must cost at most a few chunks, not the advertised length.
+func TestReadFrameCorruptLengthDoesNotOverAllocate(t *testing.T) {
+	hdr := frameBytes(1, nil)
+	binary.LittleEndian.PutUint64(hdr[12:20], 512<<20)
+	data := append(hdr, make([]byte, 1000)...) // 1000 bytes, then EOF
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	_, _, err := readFrame(bytes.NewReader(data), nil)
+	runtime.ReadMemStats(&m1)
+	if err == nil {
+		t.Fatal("truncated 512MiB frame decoded without error")
+	}
+	if alloc := m1.TotalAlloc - m0.TotalAlloc; alloc > 4*frameAllocChunk {
+		t.Fatalf("readFrame allocated %d bytes for a frame that never arrived", alloc)
+	}
+}
+
+// TestReadFrameRoundTrip pins the fast path (caller buffer with sufficient
+// capacity) and the incremental path (multi-chunk payload) against each
+// other.
+func TestReadFrameRoundTrip(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x5A}, 3*frameAllocChunk+17)
+	data := frameBytes(42, payload)
+
+	got, seq, err := readFrame(bytes.NewReader(data), nil)
+	if err != nil || seq != 42 || !bytes.Equal(got, payload) {
+		t.Fatalf("incremental path: err %v seq %d len %d", err, seq, len(got))
+	}
+	buf := make([]byte, len(payload))
+	got, seq, err = readFrame(bytes.NewReader(data), buf)
+	if err != nil || seq != 42 || !bytes.Equal(got, payload) {
+		t.Fatalf("buffered path: err %v seq %d len %d", err, seq, len(got))
+	}
+}

@@ -1,0 +1,97 @@
+package comm
+
+import (
+	"time"
+
+	"repro/internal/rng"
+)
+
+// RetryPolicy governs how a Comm re-attempts a transport round after a
+// transient failure: exponential backoff from BaseDelay doubling to
+// MaxDelay, with a deterministic seeded jitter so two runs with the same
+// policy and fault schedule back off identically (reproducibility is a
+// design invariant of the fault framework).
+//
+// The zero value disables retries entirely (one attempt, no sleeping),
+// which is the Comm default.
+type RetryPolicy struct {
+	// MaxAttempts bounds the attempts per round, including the first.
+	// Values below 1 mean a single attempt (retries disabled).
+	MaxAttempts int
+	// BaseDelay is the sleep before the second attempt; each further
+	// attempt doubles it.
+	BaseDelay time.Duration
+	// MaxDelay caps the doubled delay; 0 means no cap.
+	MaxDelay time.Duration
+	// Jitter widens each delay by a uniform factor in [1-Jitter, 1+Jitter]
+	// drawn from the seeded stream. Must be in [0, 1).
+	Jitter float64
+	// Seed seeds the jitter stream; the same seed yields the same delays.
+	Seed uint64
+
+	// sleep is the test hook for delay injection; nil means time.Sleep.
+	sleep func(time.Duration)
+}
+
+// DefaultRetryPolicy returns the policy used when fault tolerance is
+// requested without tuning: 4 attempts, 1ms base doubling to a 50ms cap,
+// 20% jitter.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond, Jitter: 0.2}
+}
+
+// attempts returns the effective attempt bound (at least 1).
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// Delay returns the backoff before attempt+1, where attempt is the 1-based
+// attempt that just failed: BaseDelay << (attempt-1), capped at MaxDelay,
+// scaled by the seeded jitter. Deterministic in (policy, attempt).
+func (p RetryPolicy) Delay(attempt int) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	d := p.BaseDelay
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			d = p.MaxDelay
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 {
+		// Uniform in [1-Jitter, 1+Jitter] from the seeded stream.
+		u := float64(rng.Mix64(p.Seed^uint64(attempt)*0x9E3779B97F4A7C15)) / float64(^uint64(0))
+		d = time.Duration(float64(d) * (1 - p.Jitter + 2*p.Jitter*u))
+	}
+	return d
+}
+
+// backoff sleeps the policy's delay for the given failed attempt.
+func (p RetryPolicy) backoff(attempt int) {
+	d := p.Delay(attempt)
+	if d <= 0 {
+		return
+	}
+	if p.sleep != nil {
+		p.sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// SetRetryPolicy installs the per-exchange retry policy. Set it identically
+// on every rank of a group: retries keep logical rounds aligned (peers of a
+// retrying rank simply wait at the rendezvous), but MaxAttempts must agree
+// for the group to agree on when a fault becomes fatal.
+func (c *Comm) SetRetryPolicy(p RetryPolicy) { c.retry = p }
+
+// RetryPolicy returns the installed policy (zero value when disabled).
+func (c *Comm) RetryPolicy() RetryPolicy { return c.retry }

@@ -1,0 +1,198 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestRetryPolicyDelayDeterministicAndCapped(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 8, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond, Jitter: 0.2, Seed: 42}
+	var prev []time.Duration
+	for run := 0; run < 2; run++ {
+		var ds []time.Duration
+		for a := 1; a <= 8; a++ {
+			d := p.Delay(a)
+			lo := time.Duration(float64(p.MaxDelay) * 1.2)
+			if d < 0 || d > lo {
+				t.Fatalf("attempt %d: delay %v outside [0, %v]", a, d, lo)
+			}
+			ds = append(ds, d)
+		}
+		if run == 1 {
+			for i := range ds {
+				if ds[i] != prev[i] {
+					t.Fatalf("jitter not deterministic: attempt %d %v vs %v", i+1, ds[i], prev[i])
+				}
+			}
+		}
+		prev = ds
+	}
+	// Without jitter the sequence is exactly exponential then capped.
+	q := RetryPolicy{MaxAttempts: 8, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+	want := []time.Duration{1, 2, 4, 4, 4}
+	for i, w := range want {
+		if got := q.Delay(i + 1); got != w*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+	if (RetryPolicy{}).attempts() != 1 {
+		t.Fatal("zero policy must mean a single attempt")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want ErrKind
+	}{
+		{fmt.Errorf("wrap: %w", ErrTransient), KindTransient},
+		{ErrAborted, KindAborted},
+		{os.ErrDeadlineExceeded, KindTimeout},
+		{&net.OpError{Op: "read", Err: os.ErrDeadlineExceeded}, KindTimeout},
+		{ErrInjected, KindFatal},
+		{errors.New("anything else"), KindFatal},
+		{&CommError{Kind: KindCorrupt}, KindCorrupt},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+	if !Retryable(fmt.Errorf("x: %w", ErrTransient)) {
+		t.Error("transient not retryable")
+	}
+	if Retryable(ErrInjected) {
+		t.Error("injected hard fault retryable")
+	}
+}
+
+// runScheduledLocal runs fn SPMD over size inproc ranks wrapped in
+// ScheduledTransports sharing one fault schedule, with the given retry
+// policy on every rank. Per-rank errors are returned individually (unlike
+// RunOn's joined error) so tests can assert what every rank observed; a
+// failing rank aborts the group exactly as RunOn would.
+func runScheduledLocal(size int, s FaultSchedule, rp RetryPolicy, fn func(c *Comm) error) ([]error, []*ScheduledTransport) {
+	trs := NewLocalGroup(size)
+	sts := make([]*ScheduledTransport, size)
+	comms := make([]*Comm, size)
+	for r := range trs {
+		sts[r] = NewScheduledTransport(trs[r], s)
+		comms[r] = New(sts[r])
+		comms[r].SetRetryPolicy(rp)
+	}
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := range comms {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[r] = fmt.Errorf("rank %d panicked: %v", r, p)
+				}
+				if errs[r] != nil {
+					sts[r].Abort()
+				}
+			}()
+			errs[r] = fn(comms[r])
+		}(r)
+	}
+	wg.Wait()
+	return errs, sts
+}
+
+func TestRetryAbsorbsTransientDrop(t *testing.T) {
+	s := FaultSchedule{Faults: []Fault{{Rank: 1, Round: 2, Op: FaultDrop, Times: 2}}}
+	rp := RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Microsecond}
+	var mu sync.Mutex
+	stats := make(map[int]Stats)
+	mets := make(map[int]*obs.Metrics)
+	errs, sts := runScheduledLocal(3, s, rp, func(c *Comm) error {
+		m := obs.NewMetrics()
+		c.SetMetrics(m)
+		c.ResetStats()
+		for i := 0; i < 4; i++ {
+			got, err := Allgather(c, uint64(c.Rank()*10+i))
+			if err != nil {
+				return err
+			}
+			for r, v := range got {
+				if v != uint64(r*10+i) {
+					return fmt.Errorf("round %d: got[%d] = %d", i, r, v)
+				}
+			}
+		}
+		mu.Lock()
+		stats[c.Rank()] = c.TakeStats()
+		mets[c.Rank()] = m
+		mu.Unlock()
+		return nil
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	if stats[1].Retries != 2 {
+		t.Errorf("rank 1 Stats.Retries = %d, want 2", stats[1].Retries)
+	}
+	if stats[0].Retries != 0 || stats[2].Retries != 0 {
+		t.Errorf("unfaulted ranks retried: %d, %d", stats[0].Retries, stats[2].Retries)
+	}
+	if got := mets[1].Collective(obs.CAllgather).Retries; got != 2 {
+		t.Errorf("rank 1 allgather metric Retries = %d, want 2", got)
+	}
+	if sts[1].Injected() != 2 {
+		t.Errorf("rank 1 injected = %d, want 2", sts[1].Injected())
+	}
+}
+
+func TestRetryExhaustionSurfacesCommErrorEverywhere(t *testing.T) {
+	// The drop outlasts the policy: rank 1 gives up with a transient
+	// CommError carrying the attempt count; the aborted peers surface
+	// rank-attributed CommErrors too.
+	s := FaultSchedule{Faults: []Fault{{Rank: 1, Round: 2, Op: FaultDrop, Times: 10}}}
+	rp := RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Microsecond}
+	errs, _ := runScheduledLocal(3, s, rp, func(c *Comm) error {
+		for i := 0; i < 4; i++ {
+			if _, err := Allgather(c, uint64(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	for r, err := range errs {
+		var ce *CommError
+		if err == nil || !errors.As(err, &ce) {
+			t.Fatalf("rank %d: error %v is not a CommError", r, err)
+		}
+		if ce.Rank != r {
+			t.Errorf("rank %d: CommError attributed to rank %d", r, ce.Rank)
+		}
+		if r == 1 {
+			if ce.Kind != KindTransient || ce.Attempt != 3 {
+				t.Errorf("rank 1: kind %v attempt %d, want transient attempt 3", ce.Kind, ce.Attempt)
+			}
+		} else if ce.Kind != KindAborted {
+			t.Errorf("rank %d: kind %v, want aborted", r, ce.Kind)
+		}
+	}
+}
+
+func TestNoRetryPolicyMeansSingleAttempt(t *testing.T) {
+	s := FaultSchedule{Faults: []Fault{{Rank: 0, Round: 1, Op: FaultDrop, Times: 1}}}
+	errs, _ := runScheduledLocal(2, s, RetryPolicy{}, func(c *Comm) error {
+		return c.Barrier()
+	})
+	var ce *CommError
+	if errs[0] == nil || !errors.As(errs[0], &ce) || ce.Attempt != 1 {
+		t.Fatalf("rank 0: want single-attempt CommError, got %v", errs[0])
+	}
+}

@@ -1,0 +1,279 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// allgatherScript runs `rounds` validated Allgathers, reporting how many
+// completed before the first error.
+func allgatherScript(rounds int) func(c *Comm) (int, error) {
+	return func(c *Comm) (int, error) {
+		for i := 0; i < rounds; i++ {
+			got, err := Allgather(c, uint64(c.Rank()*100+i))
+			if err != nil {
+				return i, err
+			}
+			for r, v := range got {
+				if v != uint64(r*100+i) {
+					return i, fmt.Errorf("round %d: got[%d] = %d", i, r, v)
+				}
+			}
+		}
+		return rounds, nil
+	}
+}
+
+func TestScheduledTruncateDetectedAsCorrupt(t *testing.T) {
+	s := FaultSchedule{Faults: []Fault{{Rank: 0, Round: 2, Op: FaultTruncate, Peer: 1}}}
+	errs, sts := runScheduledLocal(2, s, DefaultRetryPolicy(), func(c *Comm) error {
+		_, err := allgatherScript(3)(c)
+		return err
+	})
+	var ce *CommError
+	if errs[0] == nil || !errors.As(errs[0], &ce) {
+		t.Fatalf("rank 0: want CommError, got %v", errs[0])
+	}
+	if ce.Kind != KindCorrupt || ce.Peer != 1 {
+		t.Errorf("rank 0: kind %v peer %d, want corrupt from peer 1", ce.Kind, ce.Peer)
+	}
+	if errs[1] == nil {
+		t.Error("rank 1: aborted group must surface an error")
+	}
+	if sts[0].Injected() != 1 {
+		t.Errorf("injected = %d, want 1", sts[0].Injected())
+	}
+}
+
+func TestScheduledDuplicateDetectedAsCorrupt(t *testing.T) {
+	s := FaultSchedule{Faults: []Fault{{Rank: 1, Round: 3, Op: FaultDuplicate, Peer: 0}}}
+	errs, _ := runScheduledLocal(2, s, DefaultRetryPolicy(), func(c *Comm) error {
+		_, err := allgatherScript(4)(c)
+		return err
+	})
+	var ce *CommError
+	if errs[1] == nil || !errors.As(errs[1], &ce) || ce.Kind != KindCorrupt {
+		t.Fatalf("rank 1: want corrupt CommError, got %v", errs[1])
+	}
+}
+
+func TestScheduledDelayIsTransparent(t *testing.T) {
+	s := FaultSchedule{Faults: []Fault{{Rank: 0, Round: 2, Op: FaultDelay, Delay: 2 * time.Millisecond}}}
+	errs, sts := runScheduledLocal(2, s, RetryPolicy{}, func(c *Comm) error {
+		_, err := allgatherScript(4)(c)
+		return err
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	if sts[0].Injected() != 1 {
+		t.Errorf("injected = %d, want 1", sts[0].Injected())
+	}
+}
+
+func TestScheduledFatalAbortsGroup(t *testing.T) {
+	s := FaultSchedule{Faults: []Fault{{Rank: 0, Round: 2, Op: FaultFatal}}}
+	errs, _ := runScheduledLocal(3, s, DefaultRetryPolicy(), func(c *Comm) error {
+		_, err := allgatherScript(4)(c)
+		return err
+	})
+	if !errors.Is(errs[0], ErrInjected) {
+		t.Fatalf("rank 0: want ErrInjected, got %v", errs[0])
+	}
+	var ce *CommError
+	if !errors.As(errs[0], &ce) || ce.Kind != KindFatal {
+		t.Errorf("rank 0: want fatal CommError, got %v", errs[0])
+	}
+	for r := 1; r < 3; r++ {
+		if errs[r] == nil || !errors.As(errs[r], &ce) || ce.Kind != KindAborted {
+			t.Errorf("rank %d: want aborted CommError, got %v", r, errs[r])
+		}
+	}
+}
+
+func TestScheduleRoundsStayLogicalAcrossRetries(t *testing.T) {
+	// A drop at round 2 burns two attempts; the truncate scheduled for round
+	// 4 must still fire at the fourth *logical* round (the fourth Allgather),
+	// not drift earlier by counting attempts.
+	s := FaultSchedule{Faults: []Fault{
+		{Rank: 0, Round: 2, Op: FaultDrop, Times: 2},
+		{Rank: 0, Round: 4, Op: FaultTruncate, Peer: 1},
+	}}
+	rp := RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Microsecond}
+	done := make([]int, 2)
+	var mu sync.Mutex
+	errs, _ := runScheduledLocal(2, s, rp, func(c *Comm) error {
+		n, err := allgatherScript(5)(c)
+		mu.Lock()
+		done[c.Rank()] = n
+		mu.Unlock()
+		return err
+	})
+	var ce *CommError
+	if errs[0] == nil || !errors.As(errs[0], &ce) || ce.Kind != KindCorrupt {
+		t.Fatalf("rank 0: want corrupt CommError, got %v", errs[0])
+	}
+	if done[0] != 3 {
+		t.Errorf("rank 0 completed %d rounds before the truncate, want 3", done[0])
+	}
+}
+
+func TestPartitionFaultsHealWithRetries(t *testing.T) {
+	s := FaultSchedule{Faults: PartitionFaults([]int{0, 1}, 2, 2)}
+	rp := RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Microsecond}
+	errs, sts := runScheduledLocal(4, s, rp, func(c *Comm) error {
+		_, err := allgatherScript(4)(c)
+		return err
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r := 0; r < 2; r++ {
+		if sts[r].Injected() != 2 {
+			t.Errorf("partitioned rank %d injected = %d, want 2", r, sts[r].Injected())
+		}
+	}
+	for r := 2; r < 4; r++ {
+		if sts[r].Injected() != 0 {
+			t.Errorf("healthy rank %d injected = %d, want 0", r, sts[r].Injected())
+		}
+	}
+}
+
+func TestRandomFaultScheduleDeterministic(t *testing.T) {
+	a := RandomFaultSchedule(7, 4, 20, 12)
+	b := RandomFaultSchedule(7, 4, 20, 12)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c := RandomFaultSchedule(8, 4, 20, 12)
+	if reflect.DeepEqual(a.Faults, c.Faults) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	for _, f := range a.Faults {
+		if f.Rank < 0 || f.Rank >= 4 {
+			t.Errorf("fault rank %d out of range", f.Rank)
+		}
+		if f.Round < 2 || f.Round > 20 {
+			t.Errorf("fault round %d outside [2, 20]", f.Round)
+		}
+	}
+}
+
+// nonBorrowTransport strips the BorrowReader capability from a transport,
+// modeling a wrapped transport that only implements plain Exchange.
+type nonBorrowTransport struct {
+	tr Transport
+}
+
+func (n *nonBorrowTransport) Rank() int    { return n.tr.Rank() }
+func (n *nonBorrowTransport) Size() int    { return n.tr.Size() }
+func (n *nonBorrowTransport) Close() error { return n.tr.Close() }
+func (n *nonBorrowTransport) Exchange(out [][]byte) ([][]byte, time.Duration, error) {
+	return n.tr.Exchange(out)
+}
+func (n *nonBorrowTransport) Abort() {
+	if a, ok := n.tr.(aborter); ok {
+		a.Abort()
+	}
+}
+
+// TestFaultyTransportForwardsBorrowPath is the regression test for the bug
+// where wrapping a borrow-capable transport in FaultyTransport silently hid
+// BorrowReader and downgraded every collective to the copying path. It pins
+// which path actually ran in all three configurations.
+func TestFaultyTransportForwardsBorrowPath(t *testing.T) {
+	run := func(mk func(tr Transport) *FaultyTransport) []*FaultyTransport {
+		trs := NewLocalGroup(2)
+		fts := make([]*FaultyTransport, 2)
+		comms := make([]*Comm, 2)
+		for r := range trs {
+			fts[r] = mk(trs[r])
+			comms[r] = New(fts[r])
+		}
+		if err := RunOn(comms, func(c *Comm) error {
+			_, err := Allgather(c, uint64(c.Rank()))
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return fts
+	}
+
+	// Borrow-capable wrapped transport: rounds must take the zero-copy path.
+	fts := run(func(tr Transport) *FaultyTransport { return NewFaultyTransport(tr, 0) })
+	for r, ft := range fts {
+		if ft.BorrowedRounds() == 0 || ft.CopiedRounds() != 0 {
+			t.Errorf("rank %d: borrowed=%d copied=%d, want all rounds borrowed",
+				r, ft.BorrowedRounds(), ft.CopiedRounds())
+		}
+	}
+
+	// ForceCopy pins the copying path even though the wrapped transport
+	// could borrow.
+	fts = run(func(tr Transport) *FaultyTransport {
+		ft := NewFaultyTransport(tr, 0)
+		ft.ForceCopy = true
+		return ft
+	})
+	for r, ft := range fts {
+		if ft.CopiedRounds() == 0 || ft.BorrowedRounds() != 0 {
+			t.Errorf("rank %d: borrowed=%d copied=%d, want all rounds copied (ForceCopy)",
+				r, ft.BorrowedRounds(), ft.CopiedRounds())
+		}
+	}
+
+	// A wrapped transport without BorrowReader: the wrapper must gate the
+	// capability off rather than advertise a broken borrow path.
+	fts = run(func(tr Transport) *FaultyTransport {
+		return NewFaultyTransport(&nonBorrowTransport{tr: tr}, 0)
+	})
+	for r, ft := range fts {
+		if ft.CanBorrow() {
+			t.Errorf("rank %d: CanBorrow() = true over a non-borrow transport", r)
+		}
+		if ft.CopiedRounds() == 0 || ft.BorrowedRounds() != 0 {
+			t.Errorf("rank %d: borrowed=%d copied=%d, want all rounds copied (no capability)",
+				r, ft.BorrowedRounds(), ft.CopiedRounds())
+		}
+	}
+}
+
+// TestScheduledTransportForwardsBorrowPath pins the same property for the
+// schedule-driven wrapper.
+func TestScheduledTransportForwardsBorrowPath(t *testing.T) {
+	trs := NewLocalGroup(2)
+	sts := make([]*ScheduledTransport, 2)
+	comms := make([]*Comm, 2)
+	for r := range trs {
+		sts[r] = NewScheduledTransport(trs[r], FaultSchedule{})
+		comms[r] = New(sts[r])
+	}
+	if err := RunOn(comms, func(c *Comm) error {
+		_, err := Allgather(c, uint64(c.Rank()))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for r, st := range sts {
+		if !st.CanBorrow() {
+			t.Errorf("rank %d: scheduled transport over LocalTransport must borrow", r)
+		}
+	}
+
+	st := NewScheduledTransport(&nonBorrowTransport{tr: NewLocalGroup(1)[0]}, FaultSchedule{})
+	if st.CanBorrow() {
+		t.Error("scheduled transport over a non-borrow transport must not advertise borrows")
+	}
+	if _, _, err := st.BeginBorrow(nil); err == nil {
+		t.Error("BeginBorrow without capability must fail")
+	}
+}

@@ -25,9 +25,17 @@ const maxFrameLen = 1 << 30
 type TCPTransport struct {
 	rank  int
 	size  int
+	addrs []string   // the mesh address list, retained for Reconnect
 	peers []net.Conn // indexed by rank; peers[rank] == nil
 	ln    net.Listener
 	seq   uint64
+
+	// frameDeadline, when positive, bounds every per-frame read and write:
+	// a peer that stalls longer surfaces a timeout error instead of
+	// hanging the rank forever. Timeouts are fatal at the round level (the
+	// round state is indeterminate); recovery is Reconnect + checkpoint
+	// resume.
+	frameDeadline time.Duration
 
 	// Retained receive storage for borrowed reads: inBufs holds one
 	// reusable payload buffer per peer, inViews the header slice handed to
@@ -52,15 +60,33 @@ func DialMesh(rank int, addrs []string, timeout time.Duration) (*TCPTransport, e
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
-	deadline := time.Now().Add(timeout)
 
-	t := &TCPTransport{rank: rank, size: size, peers: make([]net.Conn, size)}
+	t := &TCPTransport{
+		rank:  rank,
+		size:  size,
+		addrs: append([]string(nil), addrs...),
+		peers: make([]net.Conn, size),
+	}
 
 	ln, err := net.Listen("tcp", addrs[rank])
 	if err != nil {
 		return nil, fmt.Errorf("comm: rank %d listen %s: %w", rank, addrs[rank], err)
 	}
 	t.ln = ln
+
+	if err := t.establish(time.Now().Add(timeout)); err != nil {
+		t.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// establish connects this rank to every peer: accept from higher ranks on
+// the retained listener, dial lower ranks (retrying while their listeners
+// come up). Peer slots must be nil on entry. Used by DialMesh and
+// Reconnect.
+func (t *TCPTransport) establish(deadline time.Time) error {
+	rank, size, addrs, ln := t.rank, t.size, t.addrs, t.ln
 
 	var (
 		mu       sync.Mutex
@@ -156,12 +182,39 @@ func DialMesh(rank int, addrs []string, timeout time.Duration) (*TCPTransport, e
 	}
 
 	wg.Wait()
-	if firstErr != nil {
-		t.Close()
-		return nil, firstErr
-	}
-	return t, nil
+	return firstErr
 }
+
+// Reconnect rebuilds every peer connection of an established mesh after a
+// failure: existing connections are closed, lower ranks are re-dialed, and
+// fresh connections from higher ranks are accepted on the retained
+// listener. Reconnect is collective — every rank of the mesh must call it
+// concurrently, exactly like DialMesh — and restarts the frame sequence,
+// so the group resumes with aligned rounds (resume application state from
+// a checkpoint). A transport that has been Closed cannot reconnect; dial a
+// fresh mesh instead.
+func (t *TCPTransport) Reconnect(timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	for i, c := range t.peers {
+		if c != nil {
+			c.Close()
+			t.peers[i] = nil
+		}
+	}
+	t.seq = 0
+	if err := t.establish(time.Now().Add(timeout)); err != nil {
+		return fmt.Errorf("comm: rank %d reconnect: %w", t.rank, err)
+	}
+	return nil
+}
+
+// SetExchangeDeadline bounds every per-frame read and write of subsequent
+// exchanges; d <= 0 (the default) disables deadlines. A peer that stalls
+// longer than d surfaces a timeout error (CommError KindTimeout through the
+// collectives) instead of blocking the rank forever.
+func (t *TCPTransport) SetExchangeDeadline(d time.Duration) { t.frameDeadline = d }
 
 func tuneConn(conn net.Conn) {
 	if tc, ok := conn.(*net.TCPConn); ok {
@@ -246,7 +299,11 @@ func (t *TCPTransport) exchange(out [][]byte, reuse bool) ([][]byte, time.Durati
 		go func(peer int) { // sender
 			defer wg.Done()
 			defer sendWG.Done()
-			if err := writeFrame(t.peers[peer], seq, out[peer]); err != nil {
+			conn := t.peers[peer]
+			if t.frameDeadline > 0 {
+				_ = conn.SetWriteDeadline(time.Now().Add(t.frameDeadline))
+			}
+			if err := writeFrame(conn, seq, out[peer]); err != nil {
 				fail(fmt.Errorf("comm: rank %d send to %d: %w", t.rank, peer, err))
 			}
 		}(peer)
@@ -257,7 +314,11 @@ func (t *TCPTransport) exchange(out [][]byte, reuse bool) ([][]byte, time.Durati
 			if reuse {
 				buf = t.inBufs[peer]
 			}
-			payload, gotSeq, err := readFrame(t.peers[peer], buf)
+			conn := t.peers[peer]
+			if t.frameDeadline > 0 {
+				_ = conn.SetReadDeadline(time.Now().Add(t.frameDeadline))
+			}
+			payload, gotSeq, err := readFrame(conn, buf)
 			if err != nil {
 				fail(fmt.Errorf("comm: rank %d recv from %d: %w", t.rank, peer, err))
 				return
@@ -308,28 +369,52 @@ func writeFrame(conn net.Conn, seq uint64, payload []byte) error {
 	return nil
 }
 
-// readFrame reads one length-framed message, receiving the payload into buf
-// when its capacity suffices and allocating otherwise.
-func readFrame(conn net.Conn, buf []byte) (payload []byte, seq uint64, err error) {
+// frameAllocChunk caps how far ahead of verified stream data the receiver
+// allocates: a frame longer than one chunk is received incrementally, so a
+// corrupt or hostile length header can waste at most one chunk of memory
+// beyond the bytes that actually arrive, never the full advertised length.
+const frameAllocChunk = 1 << 20
+
+// readFrame reads one length-framed message from r, receiving the payload
+// into buf when its capacity suffices and allocating (incrementally, see
+// frameAllocChunk) otherwise. It validates the magic and length bounds and
+// returns an error — never panics, never over-allocates — on a truncated,
+// oversized, or corrupted frame.
+func readFrame(r io.Reader, buf []byte) (payload []byte, seq uint64, err error) {
 	var hdr [20]byte
-	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, 0, err
 	}
 	if binary.LittleEndian.Uint32(hdr[0:4]) != tcpMagic {
 		return nil, 0, fmt.Errorf("bad frame magic")
 	}
 	seq = binary.LittleEndian.Uint64(hdr[4:12])
-	n := binary.LittleEndian.Uint64(hdr[12:20])
-	if n > maxFrameLen {
-		return nil, 0, fmt.Errorf("frame length %d exceeds limit", n)
+	n64 := binary.LittleEndian.Uint64(hdr[12:20])
+	if n64 > maxFrameLen {
+		return nil, 0, fmt.Errorf("frame length %d exceeds limit", n64)
 	}
-	if uint64(cap(buf)) >= n {
+	n := int(n64)
+	if cap(buf) >= n {
 		payload = buf[:n]
-	} else {
-		payload = make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, 0, err
+		}
+		return payload, seq, nil
 	}
-	if _, err := io.ReadFull(conn, payload); err != nil {
-		return nil, 0, err
+	payload = make([]byte, 0, min(n, frameAllocChunk))
+	for len(payload) < n {
+		chunk := min(n-len(payload), frameAllocChunk)
+		lo := len(payload)
+		if cap(payload) < lo+chunk {
+			nc := min(max(2*cap(payload), lo+chunk), n)
+			grown := make([]byte, lo, nc)
+			copy(grown, payload)
+			payload = grown
+		}
+		payload = payload[:lo+chunk]
+		if _, err := io.ReadFull(r, payload[lo:]); err != nil {
+			return nil, 0, err
+		}
 	}
 	return payload, seq, nil
 }

@@ -60,10 +60,21 @@ type Transport interface {
 //     synchronization, so skipping it deadlocks the group.
 //
 // Comm detects the capability once at construction and uses it for every
-// collective; transports without it (and wrappers such as FaultyTransport,
-// which deliberately hides it to keep its call accounting exact) fall back
-// to the copying Exchange path.
+// collective; transports without it fall back to the copying Exchange path.
+// Wrapping transports (FaultyTransport, ScheduledTransport) forward the
+// capability explicitly so fault tests exercise the same zero-copy path
+// production uses, and declare via BorrowGater whether their chain actually
+// supports it.
 type BorrowReader interface {
 	BeginBorrow(out [][]byte) (in [][]byte, wait time.Duration, err error)
 	EndBorrow() (wait time.Duration, err error)
+}
+
+// BorrowGater refines BorrowReader for wrapping transports: a wrapper's
+// forwarding methods make it satisfy BorrowReader unconditionally, so
+// CanBorrow reports whether the wrapped chain really supports borrowed
+// reads (and whether the wrapper is configured to forward them). Comm
+// consults the gate once at construction.
+type BorrowGater interface {
+	CanBorrow() bool
 }

@@ -42,7 +42,7 @@ func EndToEnd(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	tm, err := buildGraph(p, cfg.Threads, rd, spec.NumVertices, partition.VertexBlock, cfg.Seed, cfg.Trace,
+	tm, err := cfg.buildGraph(p, rd, spec.NumVertices, partition.VertexBlock,
 		func(ctx *core.Ctx, g *core.Graph) error {
 			return runAllAnalytics(ctx, g, record)
 		})

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/comm"
 	"repro/internal/obs"
 )
 
@@ -35,6 +36,10 @@ type Config struct {
 	// rank group the experiments spin up (comm collectives plus analytic
 	// iterations). Leave nil to run untraced at zero cost.
 	Trace *obs.TraceSet
+	// Retry is the comm-layer retry policy armed on every rank the
+	// experiments spin up; the zero value disables retries (a MaxAttempts
+	// of 1 or less means a single attempt per exchange).
+	Retry comm.RetryPolicy
 }
 
 // Default returns the laptop-scale configuration.

@@ -32,7 +32,7 @@ func Table3(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		tm, err := buildGraph(p, cfg.Threads, rd, spec.NumVertices, partition.VertexBlock, cfg.Seed, cfg.Trace, nil)
+		tm, err := cfg.buildGraph(p, rd, spec.NumVertices, partition.VertexBlock, nil)
 		rd.Close()
 		if err != nil {
 			return nil, err
@@ -60,6 +60,6 @@ func Table3(cfg Config) (*Report, error) {
 // and runs body on each rank — the Table IV/figure workhorse.
 func (cfg Config) buildForAnalytics(p int, src core.EdgeSource, n uint32, kind partition.Kind,
 	body func(ctx *core.Ctx, g *core.Graph) error) error {
-	_, err := buildGraph(p, cfg.Threads, src, n, kind, cfg.Seed, cfg.Trace, body)
+	_, err := cfg.buildGraph(p, src, n, kind, body)
 	return err
 }

@@ -9,7 +9,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/gio"
-	"repro/internal/obs"
 	"repro/internal/partition"
 )
 
@@ -85,17 +84,21 @@ func (cfg Config) plantedSim() gen.PlantedSpec {
 }
 
 // buildGraph constructs the distributed graph SPMD-style and hands each
-// rank's shard to body. Timings are maxed over ranks into tm. When ts is
-// non-nil every rank records its collective and analytic spans into the
-// set's per-rank tracers.
-func buildGraph(p, threads int, src core.EdgeSource, n uint32, kind partition.Kind, seed uint64,
-	ts *obs.TraceSet, body func(ctx *core.Ctx, g *core.Graph) error) (core.Timings, error) {
+// rank's shard to body. Timings are maxed over ranks into tm. When
+// cfg.Trace is non-nil every rank records its collective and analytic spans
+// into the set's per-rank tracers, and cfg.Retry (when enabled) arms every
+// rank's communicator against transient transport faults.
+func (cfg Config) buildGraph(p int, src core.EdgeSource, n uint32, kind partition.Kind,
+	body func(ctx *core.Ctx, g *core.Graph) error) (core.Timings, error) {
 	var tm core.Timings
-	ts.Ensure(p)
+	cfg.Trace.Ensure(p)
 	err := comm.RunLocal(p, func(c *comm.Comm) error {
-		c.SetTracer(ts.Rank(c.Rank()))
-		ctx := core.NewCtx(c, threads)
-		pt, err := core.MakePartitioner(ctx, src, kind, n, seed)
+		c.SetTracer(cfg.Trace.Rank(c.Rank()))
+		if cfg.Retry.MaxAttempts > 1 {
+			c.SetRetryPolicy(cfg.Retry)
+		}
+		ctx := core.NewCtx(c, cfg.Threads)
+		pt, err := core.MakePartitioner(ctx, src, kind, n, cfg.Seed)
 		if err != nil {
 			return err
 		}
