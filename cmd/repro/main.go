@@ -18,6 +18,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/harness"
@@ -26,18 +27,23 @@ import (
 
 func main() {
 	var (
-		scale    = flag.Float64("scale", 1.0, "workload scale multiplier (1.0 = laptop defaults)")
-		ranks    = flag.String("ranks", "1,2,4,8", "comma-separated rank counts for scaling experiments")
-		threads  = flag.Int("threads", 1, "worker threads per rank")
-		seed     = flag.Uint64("seed", 0xC0FFEE, "workload seed")
-		tmp      = flag.String("tmpdir", "", "directory for temporary edge files")
-		trace    = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (also prints a per-phase table)")
-		traceCap = flag.Int("trace-cap", 0, "per-rank trace ring capacity in events (0 = default 64Ki)")
-		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060) for the run's duration")
-		rtm      = flag.Bool("runtime-metrics", false, "dump a runtime/metrics snapshot to stderr after the run")
-		retries  = flag.Int("retries", 1, "max attempts per exchange on transient comm faults (1 = no retry)")
+		scale     = flag.Float64("scale", 1.0, "workload scale multiplier (1.0 = laptop defaults)")
+		ranks     = flag.String("ranks", "1,2,4,8", "comma-separated rank counts for scaling experiments")
+		threads   = flag.Int("threads", 1, "worker threads per rank")
+		seed      = flag.Uint64("seed", 0xC0FFEE, "workload seed")
+		tmp       = flag.String("tmpdir", "", "directory for temporary edge files")
+		trace     = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (also prints a per-phase table)")
+		traceCap  = flag.Int("trace-cap", 0, "per-rank trace ring capacity in events (0 = default 64Ki)")
+		pprof     = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060) for the run's duration")
+		rtm       = flag.Bool("runtime-metrics", false, "dump a runtime/metrics snapshot to stderr after the run")
+		retries   = flag.Int("retries", 1, "max attempts per exchange on transient comm faults (1 = no retry)")
+		retryBase = flag.Duration("retry-base", time.Millisecond, "base backoff delay between retry attempts (with -retries > 1)")
 	)
 	flag.Parse()
+	if *retries < 1 {
+		fmt.Fprintln(os.Stderr, "repro: -retries must be >= 1 (1 = no retry)")
+		os.Exit(2)
+	}
 
 	if *pprof != "" {
 		addr, stop, err := obs.StartPprof(*pprof)
@@ -57,6 +63,7 @@ func main() {
 	if *retries > 1 {
 		cfg.Retry = comm.DefaultRetryPolicy()
 		cfg.Retry.MaxAttempts = *retries
+		cfg.Retry.BaseDelay = *retryBase
 	}
 	if *trace != "" {
 		cfg.Trace = obs.NewTraceSet(*traceCap)

@@ -59,6 +59,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tcprank: -rank and -addrs are required and must agree")
 		os.Exit(2)
 	}
+	// Fail fast on bad retry/checkpoint combinations before dialing the
+	// mesh: a misconfigured run must not cost a connect plus a graph build
+	// before erroring.
+	if *retries < 1 {
+		fmt.Fprintln(os.Stderr, "tcprank: -retries must be >= 1 (1 = no retry)")
+		os.Exit(2)
+	}
+	if *ckptEvery < 0 {
+		fmt.Fprintln(os.Stderr, "tcprank: -ckpt-every must be >= 0 (0 = off)")
+		os.Exit(2)
+	}
+	if (*ckptEvery > 0 || *resume) && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "tcprank: -ckpt-every and -resume require -ckpt-dir")
+		os.Exit(2)
+	}
 	kind, err := partition.ParseKind(*part)
 	if err != nil {
 		fatal(err)
@@ -145,9 +160,7 @@ func main() {
 	prOpts := analytics.PageRankOptions{Iterations: *prIters, Damping: 0.85}
 	var ckptPath string
 	if *ckptEvery > 0 || *resume {
-		if *ckptDir == "" {
-			fatal(fmt.Errorf("-ckpt-every and -resume require -ckpt-dir"))
-		}
+		// Combination already validated right after flag parsing.
 		ckptPath = filepath.Join(*ckptDir, fmt.Sprintf("pagerank.rank%04d.ckpt", *rank))
 	}
 	if *ckptEvery > 0 {

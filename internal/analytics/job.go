@@ -1,0 +1,294 @@
+package analytics
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+)
+
+// Job is the uniform analytic request descriptor: every analytic the serve
+// layer can run on a resident graph, with its parameters, in one flat
+// JSON-able value. The serve daemon broadcasts an encoded Job to every rank
+// and each rank dispatches it through Run, so the descriptor doubles as the
+// rank-side wire protocol and the result-cache key material.
+type Job struct {
+	// Analytic selects the kernel: one of the Job* constants.
+	Analytic string `json:"analytic"`
+	// Sources are the query vertices for source-rooted analytics (BFS,
+	// SSSP, Harmonic). More than one source runs the batched multi-source
+	// kernel. Ignored by whole-graph analytics.
+	Sources []uint32 `json:"sources,omitempty"`
+	// Dir selects BFS traversal direction: "out" (default), "in", "und".
+	Dir string `json:"dir,omitempty"`
+	// Iterations bounds iterative analytics (PageRank, LabelProp).
+	Iterations int `json:"iterations,omitempty"`
+	// Damping is the PageRank damping factor.
+	Damping float64 `json:"damping,omitempty"`
+	// Tolerance is the PageRank early-stop threshold (0 = fixed count).
+	Tolerance float64 `json:"tolerance,omitempty"`
+	// MaxWeight selects SSSP edge weights: 0 means unit weights, else
+	// deterministic hash weights in [1, MaxWeight] seeded by WeightSeed.
+	MaxWeight  uint64 `json:"max_weight,omitempty"`
+	WeightSeed uint64 `json:"weight_seed,omitempty"`
+	// RandomTies and TieSeed configure LabelProp tie-breaking.
+	RandomTies bool   `json:"random_ties,omitempty"`
+	TieSeed    uint64 `json:"tie_seed,omitempty"`
+}
+
+// Analytic names accepted by Job.Analytic.
+const (
+	JobBFS       = "bfs"
+	JobSSSP      = "sssp"
+	JobHarmonic  = "harmonic"
+	JobPageRank  = "pagerank"
+	JobLabelProp = "labelprop"
+	JobWCC       = "wcc"
+)
+
+// SourceRooted reports whether the analytic takes query vertices (and is
+// therefore batchable by source coalescing).
+func (j *Job) SourceRooted() bool {
+	switch j.Analytic {
+	case JobBFS, JobSSSP, JobHarmonic:
+		return true
+	}
+	return false
+}
+
+// Normalize fills parameter defaults in place so that equal queries have
+// equal descriptors (the cache-key and batch-compatibility requirement).
+func (j *Job) Normalize() {
+	switch j.Analytic {
+	case JobBFS:
+		if j.Dir == "" {
+			j.Dir = "out"
+		}
+	case JobPageRank:
+		if j.Iterations <= 0 {
+			j.Iterations = 10
+		}
+		if j.Damping == 0 {
+			j.Damping = 0.85
+		}
+	case JobLabelProp:
+		if j.Iterations <= 0 {
+			j.Iterations = 10
+		}
+	}
+}
+
+// maxJobIterations caps iterative requests so one query cannot occupy the
+// cluster unboundedly.
+const maxJobIterations = 10_000
+
+// Validate checks the descriptor against a graph with n global vertices.
+func (j *Job) Validate(n uint32) error {
+	switch j.Analytic {
+	case JobBFS, JobSSSP, JobHarmonic:
+		if len(j.Sources) == 0 {
+			return fmt.Errorf("analytics: %s job needs at least one source", j.Analytic)
+		}
+		if len(j.Sources) > MaxSources {
+			return fmt.Errorf("analytics: %s job with %d sources (max %d)", j.Analytic, len(j.Sources), MaxSources)
+		}
+		for _, s := range j.Sources {
+			if s >= n {
+				return fmt.Errorf("analytics: %s source %d outside %d vertices", j.Analytic, s, n)
+			}
+		}
+	case JobPageRank, JobLabelProp:
+		if j.Iterations < 0 || j.Iterations > maxJobIterations {
+			return fmt.Errorf("analytics: %s job with %d iterations (max %d)", j.Analytic, j.Iterations, maxJobIterations)
+		}
+	case JobWCC:
+	default:
+		return fmt.Errorf("analytics: unknown analytic %q", j.Analytic)
+	}
+	if j.Analytic == JobBFS {
+		switch j.Dir {
+		case "", "out", "in", "und":
+		default:
+			return fmt.Errorf("analytics: bfs dir %q (want out, in, or und)", j.Dir)
+		}
+	}
+	return nil
+}
+
+// dir maps the descriptor's direction string onto the kernel enum.
+func (j *Job) dir() Dir {
+	switch j.Dir {
+	case "in":
+		return Backward
+	case "und":
+		return Und
+	}
+	return Forward
+}
+
+// weights builds the SSSP weight function the descriptor names.
+func (j *Job) weights() WeightFunc {
+	if j.MaxWeight == 0 {
+		return UnitWeights
+	}
+	return HashWeights(j.WeightSeed, j.MaxWeight)
+}
+
+// EncodeJob serializes a descriptor for the rank-side command broadcast.
+func EncodeJob(j *Job) ([]byte, error) { return json.Marshal(j) }
+
+// DecodeJob is the inverse of EncodeJob.
+func DecodeJob(b []byte) (*Job, error) {
+	var j Job
+	if err := json.Unmarshal(b, &j); err != nil {
+		return nil, fmt.Errorf("analytics: decoding job: %w", err)
+	}
+	return &j, nil
+}
+
+// SourceSummary is the per-source slice of a job's answer.
+type SourceSummary struct {
+	Source uint32 `json:"source"`
+	// Reached is the global number of vertices visited / reachable from
+	// Source (BFS, SSSP).
+	Reached uint64 `json:"reached,omitempty"`
+	// Depth is the BFS eccentricity observed from Source.
+	Depth int `json:"depth,omitempty"`
+	// Score is the harmonic centrality of Source.
+	Score float64 `json:"score,omitempty"`
+}
+
+// JobResult is the global summary of one analytic run. Every rank computes
+// the identical value (all fields derive from collectives), so rank 0's
+// copy answers the query; per-vertex arrays deliberately stay rank-local.
+type JobResult struct {
+	Analytic string `json:"analytic"`
+	// Sources carries per-source answers for source-rooted analytics, in
+	// the order of Job.Sources.
+	Sources []SourceSummary `json:"sources,omitempty"`
+	// Iterations / Rounds is the work the iterative or round-based kernel
+	// performed.
+	Iterations int `json:"iterations,omitempty"`
+	Rounds     int `json:"rounds,omitempty"`
+	// MaxScore is the global maximum PageRank score.
+	MaxScore float64 `json:"max_score,omitempty"`
+	// NumComponents and LargestSize describe WCC output.
+	NumComponents uint64 `json:"num_components,omitempty"`
+	LargestSize   uint64 `json:"largest_size,omitempty"`
+	// Communities is the number of distinct LabelProp communities.
+	Communities uint64 `json:"communities,omitempty"`
+}
+
+// ForSource projects a batched result down to the single-source answer for
+// s, or nil if s is not among the result's sources. Whole-graph results
+// project to themselves.
+func (r *JobResult) ForSource(s uint32) *JobResult {
+	if len(r.Sources) == 0 {
+		return r
+	}
+	for _, ss := range r.Sources {
+		if ss.Source == s {
+			return &JobResult{Analytic: r.Analytic, Sources: []SourceSummary{ss},
+				Iterations: r.Iterations, Rounds: r.Rounds}
+		}
+	}
+	return nil
+}
+
+// Run dispatches a validated descriptor to its kernel. Must be called
+// collectively: every rank passes an identical job, and every rank returns
+// the identical global summary.
+func Run(ctx *core.Ctx, g *core.Graph, job *Job) (*JobResult, error) {
+	if err := job.Validate(g.NGlobal); err != nil {
+		return nil, err
+	}
+	res := &JobResult{Analytic: job.Analytic}
+	switch job.Analytic {
+	case JobBFS:
+		if len(job.Sources) == 1 {
+			b, err := BFS(ctx, g, job.Sources[0], job.dir())
+			if err != nil {
+				return nil, err
+			}
+			res.Sources = []SourceSummary{{Source: job.Sources[0], Reached: b.Reached, Depth: b.Depth}}
+		} else {
+			mb, err := MultiBFS(ctx, g, job.Sources, job.dir())
+			if err != nil {
+				return nil, err
+			}
+			for s, src := range job.Sources {
+				res.Sources = append(res.Sources, SourceSummary{Source: src, Reached: mb.Reached[s], Depth: mb.Depth[s]})
+			}
+		}
+	case JobSSSP:
+		if len(job.Sources) == 1 {
+			ss, err := SSSP(ctx, g, job.Sources[0], job.weights())
+			if err != nil {
+				return nil, err
+			}
+			res.Rounds = ss.Rounds
+			res.Sources = []SourceSummary{{Source: job.Sources[0], Reached: ss.Reached}}
+		} else {
+			ms, err := MultiSSSP(ctx, g, job.Sources, job.weights())
+			if err != nil {
+				return nil, err
+			}
+			res.Rounds = ms.Rounds
+			for s, src := range job.Sources {
+				res.Sources = append(res.Sources, SourceSummary{Source: src, Reached: ms.Reached[s]})
+			}
+		}
+	case JobHarmonic:
+		// Harmonic is one reverse BFS plus a scalar reduce per source;
+		// batch members simply share the SPMD job.
+		for _, src := range job.Sources {
+			hc, err := Harmonic(ctx, g, src)
+			if err != nil {
+				return nil, err
+			}
+			res.Sources = append(res.Sources, SourceSummary{Source: src, Score: hc})
+		}
+	case JobPageRank:
+		pr, err := PageRank(ctx, g, PageRankOptions{
+			Iterations: job.Iterations, Damping: job.Damping, Tolerance: job.Tolerance,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Iterations = pr.Iterations
+		var localMax float64
+		for _, s := range pr.Scores {
+			if s > localMax {
+				localMax = s
+			}
+		}
+		res.MaxScore, err = comm.Allreduce(ctx.Comm, localMax, comm.OpMax)
+		if err != nil {
+			return nil, err
+		}
+	case JobLabelProp:
+		lp, err := LabelProp(ctx, g, LabelPropOptions{
+			Iterations: job.Iterations, RandomTies: job.RandomTies, TieSeed: job.TieSeed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Iterations = lp.Iterations
+		// Distinct-label count (not countRepresentatives: a community's
+		// namesake vertex may itself have adopted a different label).
+		sizes, err := SizeDistribution(ctx, g, lp.Labels)
+		if err != nil {
+			return nil, err
+		}
+		res.Communities = uint64(len(sizes))
+	case JobWCC:
+		wc, err := WCC(ctx, g)
+		if err != nil {
+			return nil, err
+		}
+		res.NumComponents = wc.NumComponents
+		res.LargestSize = wc.LargestSize
+	}
+	return res, nil
+}

@@ -123,11 +123,16 @@ func (c *Comm) enter(k obs.Collective) {
 	}
 }
 
-// ResetStats zeroes the breakdown and restarts the computation clock. Call
-// at the start of a measured region (e.g. the first PageRank iteration).
+// ResetStats zeroes the breakdown, restarts the computation clock, and
+// resets the attached per-collective counters (when metrics are enabled),
+// so Stats and obs counters always describe the same measured region. Call
+// at the start of a measured region — e.g. the first PageRank iteration, or
+// each job admitted to a resident serving cluster, where without the reset
+// per-job metrics would accumulate across queries.
 func (c *Comm) ResetStats() {
 	c.stats = Stats{}
 	c.mark = time.Now()
+	c.met.Reset()
 }
 
 // TakeStats closes out the current computation interval and returns the

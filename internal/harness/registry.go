@@ -33,6 +33,7 @@ func Experiments() []Experiment {
 		{"degrees", Degrees},
 		{"ablations", Ablations},
 		{"endtoend", EndToEnd},
+		{"serve", Serve},
 	}
 }
 

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/analytics"
+)
+
+// cacheKey builds the canonical result-cache key for a normalized job:
+// (graph epoch, analytic, every parameter, sources). Two requests that
+// would produce byte-identical answers on the same resident graph map to
+// the same key; anything else (different epoch after a reload, different
+// weights, different direction) must not collide.
+func cacheKey(epoch uint64, j *analytics.Job) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "e%d|%s|d=%s|it=%d|dmp=%g|tol=%g|w=%d.%d|t=%v.%d|s=",
+		epoch, j.Analytic, j.Dir, j.Iterations, j.Damping, j.Tolerance,
+		j.MaxWeight, j.WeightSeed, j.RandomTies, j.TieSeed)
+	for i, s := range j.Sources {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", s)
+	}
+	return b.String()
+}
+
+// resultCache is a thread-safe LRU of job results with hit/miss/eviction
+// counters. A capacity of zero disables it (every lookup misses, every
+// insert is dropped).
+type resultCache struct {
+	mu        sync.Mutex
+	cap       int
+	order     *list.List               // front = most recent
+	entries   map[string]*list.Element // value: *cacheEntry
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	res *analytics.JobResult
+}
+
+// newResultCache returns an LRU holding up to capacity results.
+func newResultCache(capacity int) *resultCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached result for key, bumping its recency, and counts
+// the hit or miss.
+func (c *resultCache) Get(key string) (*analytics.JobResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put inserts (or refreshes) a result, evicting the least recently used
+// entry when over capacity.
+func (c *resultCache) Put(key string, res *analytics.JobResult) {
+	if c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// CacheStats is the counter snapshot exported through /v1/stats.
+type CacheStats struct {
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Stats returns the current counters.
+func (c *resultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Size: c.order.Len(), Capacity: c.cap,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+	}
+}

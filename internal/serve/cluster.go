@@ -1,0 +1,366 @@
+// Package serve is the resident graph-query service: the comm ranks and
+// the ghost-relabelled distributed CSR are built once and stay resident,
+// and analytic queries (BFS/SSSP from a source, PageRank/Harmonic/
+// LabelProp/WCC over the whole graph) run against them as SPMD jobs —
+// load and partition once, answer many queries, the serving posture the
+// distributed-graph-systems surveys show one-shot jobs cannot reach.
+//
+// The package layers three pieces over the resident cluster:
+//
+//   - Cluster: the rank goroutines and their rank-side dispatch loop. The
+//     scheduler hands a job to rank 0; every rank receives it through a
+//     command broadcast built on the existing Bcast collective (no new
+//     transport) and dispatches it through analytics.Run, so a job runs
+//     exactly as a one-shot SPMD program would.
+//   - Scheduler: admission control (bounded queue, per-request deadlines,
+//     typed 429/503 rejections), request batching (pending same-analytic
+//     single-source queries coalesce into one multi-source run), and an
+//     LRU result cache keyed by (graph epoch, analytic, params).
+//   - Server: the HTTP/JSON front end (POST /v1/query, GET /v1/jobs/{id},
+//     GET /v1/stats, GET /healthz).
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/partition"
+)
+
+// ClusterConfig shapes the resident rank group and its graph.
+type ClusterConfig struct {
+	// Ranks is the in-process rank count (must be positive).
+	Ranks int
+	// Threads is the per-rank worker count (<= 0 selects NumCPU).
+	Threads int
+	// Source feeds the one-time graph build; it must be safe for
+	// concurrent ReadChunk calls (both SpecSource and gio readers are).
+	Source core.EdgeSource
+	// Partition selects the partitioning (default Random).
+	Partition partition.Kind
+	// Seed seeds the partitioner.
+	Seed uint64
+	// Trace, when non-nil, collects per-rank spans from the resident
+	// ranks across all jobs.
+	Trace *obs.TraceSet
+	// Epoch identifies the resident graph build generation in result-cache
+	// keys; bump it when the same daemon reloads a new graph.
+	Epoch uint64
+}
+
+// jobShutdown is the reserved analytic name the dispatch loop uses to wind
+// the rank group down; it never reaches analytics.Run.
+const jobShutdown = "_shutdown"
+
+// JobStats is the per-job communication summary a finished job carries
+// back: rank 0's Stats breakdown plus the group-wide wire volume.
+type JobStats struct {
+	// Rank0 is rank 0's own comp/comm/idle and byte breakdown for the job.
+	Rank0 comm.Stats
+	// SentBytes is the job's off-rank payload volume summed over every
+	// rank (the group-wide Sent-MiB a resident service meters per query).
+	SentBytes uint64
+	// Collectives is rank 0's per-collective counter snapshot for the job.
+	Collectives [obs.NumCollectives]obs.CollectiveStats
+}
+
+// outcome is what the dispatch loop reports back for one submitted job.
+type outcome struct {
+	res   *analytics.JobResult
+	stats JobStats
+	err   error
+}
+
+// pending is one job in flight between the scheduler and rank 0.
+type pending struct {
+	job  *analytics.Job
+	resp chan outcome // buffered; exactly one send per accepted pending
+}
+
+// Cluster is a resident in-process rank group: p goroutines each holding a
+// communicator, a thread pool, and its shard of the distributed graph.
+// Jobs are submitted through Run (one at a time — the scheduler enforces
+// serialization; the cluster additionally meters overlap so tests can
+// prove it) and execute SPMD-style on the resident ranks.
+type Cluster struct {
+	size    int
+	epoch   uint64
+	n       uint32
+	m       uint64
+	builtIn time.Duration
+
+	submit chan *pending
+	quit   chan struct{}
+	dead   chan struct{}
+
+	closeOnce sync.Once
+	errMu     sync.Mutex
+	err       error
+
+	// active meters concurrently in-flight Run calls; maxActive remembers
+	// the high-water mark (the "never two SPMD jobs at once" witness).
+	active    atomic.Int32
+	maxActive atomic.Int32
+	jobsRun   atomic.Uint64
+}
+
+// NewCluster builds the distributed graph once, SPMD-style, and leaves the
+// rank group resident with every rank parked in its dispatch loop. The
+// returned cluster is ready for Run.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Ranks <= 0 {
+		return nil, fmt.Errorf("serve: cluster needs a positive rank count, got %d", cfg.Ranks)
+	}
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("serve: cluster needs an edge source")
+	}
+	cl := &Cluster{
+		size:   cfg.Ranks,
+		epoch:  cfg.Epoch,
+		submit: make(chan *pending),
+		quit:   make(chan struct{}),
+		dead:   make(chan struct{}),
+	}
+	cfg.Trace.Ensure(cfg.Ranks)
+
+	built := make(chan error, cfg.Ranks)
+	go func() {
+		start := time.Now()
+		err := comm.RunLocal(cfg.Ranks, func(c *comm.Comm) error {
+			c.SetTracer(cfg.Trace.Rank(c.Rank()))
+			c.SetMetrics(obs.NewMetrics())
+			ctx := core.NewCtx(c, cfg.Threads)
+			n, err := core.ScanNumVertices(ctx, cfg.Source)
+			if err != nil {
+				built <- err
+				return err
+			}
+			pt, err := core.MakePartitioner(ctx, cfg.Source, cfg.Partition, n, cfg.Seed)
+			if err != nil {
+				built <- err
+				return err
+			}
+			g, _, err := core.Build(ctx, cfg.Source, pt)
+			if err != nil {
+				built <- err
+				return err
+			}
+			if c.Rank() == 0 {
+				cl.n = g.NGlobal
+				cl.m = g.MGlobal
+				cl.builtIn = time.Since(start)
+			}
+			built <- nil
+			return cl.rankLoop(ctx, g)
+		})
+		cl.errMu.Lock()
+		cl.err = err
+		cl.errMu.Unlock()
+		close(cl.dead)
+	}()
+
+	// Wait for every rank to pass (or fail) the build before reporting
+	// the cluster ready; a failed build tears the group down.
+	var buildErr error
+	for i := 0; i < cfg.Ranks; i++ {
+		if err := <-built; err != nil && buildErr == nil {
+			buildErr = err
+		}
+	}
+	if buildErr != nil {
+		<-cl.dead
+		return nil, fmt.Errorf("serve: building resident graph: %w", buildErr)
+	}
+	return cl, nil
+}
+
+// rankLoop is the rank-side dispatch loop: receive a job via the command
+// broadcast, run it, loop. Rank 0 additionally feeds the broadcast from the
+// submit channel and reports each job's outcome. All ranks leave together
+// when a shutdown descriptor is broadcast.
+func (cl *Cluster) rankLoop(ctx *core.Ctx, g *core.Graph) error {
+	c := ctx.Comm
+	rank := c.Rank()
+	for {
+		var p *pending
+		var desc []byte
+		if rank == 0 {
+			select {
+			case <-cl.quit:
+				desc, _ = analytics.EncodeJob(&analytics.Job{Analytic: jobShutdown})
+			case p = <-cl.submit:
+				var err error
+				desc, err = analytics.EncodeJob(p.job)
+				if err != nil {
+					p.resp <- outcome{err: fmt.Errorf("serve: encoding job: %w", err)}
+					continue
+				}
+			}
+		}
+		desc, err := comm.Bcast(c, desc, 0)
+		if err != nil {
+			if p != nil {
+				p.resp <- outcome{err: err}
+			}
+			return err
+		}
+		job, err := analytics.DecodeJob(desc)
+		if err != nil {
+			if p != nil {
+				p.resp <- outcome{err: err}
+			}
+			return err
+		}
+		if job.Analytic == jobShutdown {
+			return nil
+		}
+		// Rank-side admission check. Validate is deterministic on the
+		// broadcast descriptor, so every rank takes the same branch and
+		// an invalid job skips the run without desynchronizing the group
+		// (and without killing the resident cluster).
+		if err := job.Validate(g.NGlobal); err != nil {
+			if p != nil {
+				p.resp <- outcome{err: err}
+			}
+			continue
+		}
+
+		// Job-scoped measurement: ResetStats zeroes both the Stats
+		// breakdown and the attached obs counters, so two identical jobs
+		// on the resident cluster report identical volumes.
+		c.ResetStats()
+		res, runErr := analytics.Run(ctx, g, job)
+		stats := c.TakeStats()
+		if runErr != nil {
+			if p != nil {
+				p.resp <- outcome{err: runErr}
+			}
+			return runErr
+		}
+		// Group-wide wire volume for the job; runs after TakeStats so it
+		// is not charged to the job, and before the next job's ResetStats.
+		sent, err := comm.Allreduce(c, stats.BytesSent, comm.OpSum)
+		if err != nil {
+			if p != nil {
+				p.resp <- outcome{err: err}
+			}
+			return err
+		}
+		if p != nil {
+			p.resp <- outcome{
+				res: res,
+				stats: JobStats{
+					Rank0:       stats,
+					SentBytes:   sent,
+					Collectives: c.Metrics().Snapshot(),
+				},
+			}
+		}
+	}
+}
+
+// ErrClusterDown is returned by Run after the rank group has terminated.
+var ErrClusterDown = errors.New("serve: cluster is down")
+
+// Run executes one job on the resident ranks and blocks until its result.
+// The scheduler is the intended (sole) caller and submits one job at a
+// time; concurrent calls are safe but serialize on the rank group.
+func (cl *Cluster) Run(job *analytics.Job) (*analytics.JobResult, JobStats, error) {
+	n := cl.active.Add(1)
+	for {
+		max := cl.maxActive.Load()
+		if n <= max || cl.maxActive.CompareAndSwap(max, n) {
+			break
+		}
+	}
+	defer cl.active.Add(-1)
+
+	p := &pending{job: job, resp: make(chan outcome, 1)}
+	select {
+	case cl.submit <- p:
+	case <-cl.dead:
+		return nil, JobStats{}, cl.downErr()
+	}
+	select {
+	case out := <-p.resp:
+		if out.err != nil {
+			return nil, JobStats{}, out.err
+		}
+		cl.jobsRun.Add(1)
+		return out.res, out.stats, nil
+	case <-cl.dead:
+		// Rank 0 always answers an accepted pending before exiting, so a
+		// dead cluster here means the buffered response raced the close.
+		select {
+		case out := <-p.resp:
+			if out.err != nil {
+				return nil, JobStats{}, out.err
+			}
+			cl.jobsRun.Add(1)
+			return out.res, out.stats, nil
+		default:
+			return nil, JobStats{}, cl.downErr()
+		}
+	}
+}
+
+// downErr reports the terminal error with the cluster-down sentinel.
+func (cl *Cluster) downErr() error {
+	cl.errMu.Lock()
+	err := cl.err
+	cl.errMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrClusterDown, err)
+	}
+	return ErrClusterDown
+}
+
+// Close broadcasts shutdown to the resident ranks and waits for them to
+// exit. Safe to call more than once; returns the group's terminal error,
+// if any (clean shutdown returns nil).
+func (cl *Cluster) Close() error {
+	cl.closeOnce.Do(func() { close(cl.quit) })
+	<-cl.dead
+	cl.errMu.Lock()
+	defer cl.errMu.Unlock()
+	return cl.err
+}
+
+// Alive reports whether the rank group is still serving.
+func (cl *Cluster) Alive() bool {
+	select {
+	case <-cl.dead:
+		return false
+	default:
+		return true
+	}
+}
+
+// Size returns the rank count.
+func (cl *Cluster) Size() int { return cl.size }
+
+// Epoch returns the graph build generation used in cache keys.
+func (cl *Cluster) Epoch() uint64 { return cl.epoch }
+
+// NumVertices and NumEdges describe the resident graph.
+func (cl *Cluster) NumVertices() uint32 { return cl.n }
+
+// NumEdges returns the resident graph's global directed edge count.
+func (cl *Cluster) NumEdges() uint64 { return cl.m }
+
+// BuildTime reports how long the one-time load+partition+convert took.
+func (cl *Cluster) BuildTime() time.Duration { return cl.builtIn }
+
+// JobsRun counts completed SPMD jobs.
+func (cl *Cluster) JobsRun() uint64 { return cl.jobsRun.Load() }
+
+// MaxConcurrentJobs is the high-water mark of overlapping Run calls — the
+// single-SPMD-job-at-a-time witness the stress test asserts equals 1.
+func (cl *Cluster) MaxConcurrentJobs() int { return int(cl.maxActive.Load()) }
