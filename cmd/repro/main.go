@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/obs"
 )
@@ -38,10 +39,25 @@ func main() {
 		rtm       = flag.Bool("runtime-metrics", false, "dump a runtime/metrics snapshot to stderr after the run")
 		retries   = flag.Int("retries", 1, "max attempts per exchange on transient comm faults (1 = no retry)")
 		retryBase = flag.Duration("retry-base", time.Millisecond, "base backoff delay between retry attempts (with -retries > 1)")
+		hybrid    = flag.String("hybrid", "adaptive", "traversal policy for BFS-like analytics: adaptive, push (always-sparse baseline), dense")
+		alpha     = flag.Float64("alpha", core.DefaultAlpha, "push->pull switch threshold (enter bottom-up when frontier edge mass > unexplored/alpha)")
+		beta      = flag.Float64("beta", core.DefaultBeta, "pull->push switch threshold (return to top-down when frontier < vertices/beta)")
+		bench     = flag.String("bench", "", "write the hybrid experiment's measurements as JSON (e.g. BENCH_5.json) to this path")
 	)
 	flag.Parse()
 	if *retries < 1 {
 		fmt.Fprintln(os.Stderr, "repro: -retries must be >= 1 (1 = no retry)")
+		os.Exit(2)
+	}
+	// Fail fast on a bad traversal policy before any experiment spends time
+	// building graphs.
+	mode, err := core.ParseTraversalMode(*hybrid)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(2)
+	}
+	if *alpha <= 0 || *beta <= 0 {
+		fmt.Fprintln(os.Stderr, "repro: -alpha and -beta must be > 0")
 		os.Exit(2)
 	}
 
@@ -60,6 +76,8 @@ func main() {
 	cfg.Threads = *threads
 	cfg.Seed = *seed
 	cfg.TmpDir = *tmp
+	cfg.Traverse = core.Traversal{Mode: mode, Alpha: *alpha, Beta: *beta}
+	cfg.BenchPath = *bench
 	if *retries > 1 {
 		cfg.Retry = comm.DefaultRetryPolicy()
 		cfg.Retry.MaxAttempts = *retries

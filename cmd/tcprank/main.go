@@ -52,6 +52,9 @@ func main() {
 		ckptEvery = flag.Int("ckpt-every", 0, "checkpoint PageRank state every K iterations (0 = off)")
 		ckptDir   = flag.String("ckpt-dir", "", "directory for per-rank checkpoint files (with -ckpt-every or -resume)")
 		resume    = flag.Bool("resume", false, "resume PageRank from this rank's checkpoint in -ckpt-dir")
+		hybrid    = flag.String("hybrid", "adaptive", "traversal policy for BFS-like analytics: adaptive, push (always-sparse baseline), dense; must agree across ranks")
+		alpha     = flag.Float64("alpha", core.DefaultAlpha, "push->pull switch threshold; must agree across ranks")
+		beta      = flag.Float64("beta", core.DefaultBeta, "pull->push switch threshold; must agree across ranks")
 	)
 	flag.Parse()
 	addrList := strings.Split(*addrs, ",")
@@ -72,6 +75,15 @@ func main() {
 	}
 	if (*ckptEvery > 0 || *resume) && *ckptDir == "" {
 		fmt.Fprintln(os.Stderr, "tcprank: -ckpt-every and -resume require -ckpt-dir")
+		os.Exit(2)
+	}
+	mode, err := core.ParseTraversalMode(*hybrid)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcprank: %v\n", err)
+		os.Exit(2)
+	}
+	if *alpha <= 0 || *beta <= 0 {
+		fmt.Fprintln(os.Stderr, "tcprank: -alpha and -beta must be > 0")
 		os.Exit(2)
 	}
 	kind, err := partition.ParseKind(*part)
@@ -141,6 +153,7 @@ func main() {
 		c.SetMetrics(met)
 	}
 	ctx := core.NewCtx(c, *threads)
+	ctx.Traverse = core.Traversal{Mode: mode, Alpha: *alpha, Beta: *beta}
 
 	n, err := core.ScanNumVertices(ctx, src)
 	if err != nil {

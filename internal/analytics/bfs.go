@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Dir selects traversal direction for BFS-like analytics.
@@ -38,57 +39,105 @@ type BFSResult struct {
 	Reached uint64
 	// Depth is the eccentricity observed: the last level populated.
 	Depth int
+	// Traversal records this rank's adaptive-engine step choices and wire
+	// volume (identical direction/representation sequence on every rank;
+	// byte counters are this rank's share).
+	Traversal obs.TraversalStats
 }
 
-// BFS runs the paper's Algorithm 2: level-synchronous distributed BFS from
-// the global vertex root. Vertices discovered locally join the local next
-// queue; ghost discoveries are sent to their owners at the level boundary
-// with one Alltoallv; the loop ends when the global frontier empties.
+// BFS runs the paper's Algorithm 2 — level-synchronous distributed BFS
+// from the global vertex root — under the adaptive frontier engine of
+// frontier.go: each level runs top-down push (local discoveries join the
+// next queue, ghost claims travel to their owners, sparse or dense) or
+// bottom-up pull (ghost frontier bits refresh densely, discoveries are
+// purely local), per ctx.Traverse and the globally reduced frontier
+// statistics. Levels are identical in every mode; the loop ends when the
+// global frontier empties.
 func BFS(ctx *core.Ctx, g *core.Graph, root uint32, dir Dir) (*BFSResult, error) {
+	return bfsWithHalo(ctx, g, root, dir, nil)
+}
+
+// bfsWithHalo is BFS with an optional caller-supplied DirsBoth halo, so
+// composite analytics (WCC) share one halo between their traversal and
+// coloring phases instead of building it twice.
+func bfsWithHalo(ctx *core.Ctx, g *core.Graph, root uint32, dir Dir, halo *Halo) (*BFSResult, error) {
 	if root >= g.NGlobal {
 		return nil, fmt.Errorf("analytics: BFS root %d outside %d vertices", root, g.NGlobal)
 	}
 	status := newStatus(g)
+	eng := newFrontierEngine(ctx, g, halo)
+	muLocal := totalPullDeg(g, dir)
 	var queue []uint32
 	if lid := g.LocalID(root); lid != core.InvalidLocal && lid < g.NLoc {
 		status[lid] = statusPending
 		queue = append(queue, lid)
+		muLocal -= pullDeg(g, lid, dir)
 	}
 	reached := uint64(0)
 	depth := -1
 
-	var fsc frontierScratch
 	tr := ctx.Comm.Tracer()
-	globalSize := uint64(1)
-	for level := int32(0); globalSize != 0; level++ {
+	glob, err := eng.reduceStats(ctx, queue, muLocal, dir, true)
+	if err != nil {
+		return nil, err
+	}
+	pl := eng.plan(stepPlan{}, glob[0], glob[1], glob[2])
+	first := true
+	var prevExec stepPlan
+	for level := int32(0); glob[0] != 0; level++ {
 		mark := tr.Now()
 		frontier := len(queue)
-		next, send, err := expandFrontier(ctx, g, status, queue, level, dir)
-		if err != nil {
-			return nil, err
-		}
-		if len(queue) > 0 {
-			depth = int(level)
-		}
-		reached += uint64(len(queue))
-		arrived, err := exchangeFrontier(ctx, g, send, &fsc)
-		if err != nil {
-			return nil, err
-		}
-		for _, lid := range arrived {
-			// Owner-side dedup: several ranks may discover the same
-			// vertex in one level.
-			if status[lid] == statusUnvisited {
-				status[lid] = statusPending
-				next = append(next, lid)
+		if eng.planNeedsHalo(pl) {
+			if err := eng.ensureHalo(ctx); err != nil {
+				return nil, err
 			}
 		}
+		var next []uint32
+		if pl.pull {
+			next, err = eng.pullStep(ctx, status, queue, level, dir)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			var send []uint32
+			next, send, err = expandFrontier(ctx, g, status, queue, level, dir)
+			if err != nil {
+				return nil, err
+			}
+			var arrived []uint32
+			if pl.dense {
+				arrived, err = eng.exchangeDenseClaims(ctx, send)
+			} else {
+				eng.noteSparse(len(send), 4)
+				arrived, err = exchangeFrontier(ctx, g, send, &eng.fsc)
+			}
+			if err != nil {
+				return nil, err
+			}
+			for _, lid := range arrived {
+				// Owner-side dedup: several ranks may discover the same
+				// vertex in one level.
+				if status[lid] == statusUnvisited {
+					status[lid] = statusPending
+					next = append(next, lid)
+				}
+			}
+		}
+		if frontier > 0 {
+			depth = int(level)
+		}
+		reached += uint64(frontier)
+		muLocal -= ctx.Pool.SumRangeU64(len(next), func(i int) uint64 { return pullDeg(g, next[i], dir) })
 		queue = next
-		globalSize, err = comm.Allreduce(ctx.Comm, uint64(len(queue)), comm.OpSum)
+		glob, err = eng.reduceStats(ctx, queue, muLocal, dir, false)
 		if err != nil {
 			return nil, err
 		}
+		tr.Span(stepSpanName(pl), mark, int64(frontier))
 		tr.Span(SpanBFSLevel, mark, int64(frontier))
+		eng.note(prevExec, pl, first)
+		prevExec, first = pl, false
+		pl = eng.plan(pl, glob[0], glob[1], glob[2])
 	}
 
 	levels := make([]int32, g.NLoc)
@@ -107,7 +156,7 @@ func BFS(ctx *core.Ctx, g *core.Graph, root uint32, dir Dir) (*BFSResult, error)
 	if err != nil {
 		return nil, err
 	}
-	return &BFSResult{Levels: levels, Reached: total, Depth: int(maxDepth)}, nil
+	return &BFSResult{Levels: levels, Reached: total, Depth: int(maxDepth), Traversal: eng.stats}, nil
 }
 
 // newStatus allocates a status array over owned and ghost vertices,

@@ -38,6 +38,11 @@ type Halo struct {
 	// exactly the order values arrive (the paper's vRecv after its one-time
 	// global-to-local conversion).
 	recvLids []uint32
+	// recvSegs are the per-source-rank segment sizes of recvLids, retained
+	// from the one-time global-id exchange: the dense bitmap exchange packs
+	// and unpacks bit segments against exactly this geometry, and the
+	// reverse (ghost-to-owner) exchange uses it as its send counts.
+	recvSegs []int
 
 	// Retained exchange scratch: the typed send/recv staging reused by
 	// every Exchange so the steady-state iteration allocates nothing.
@@ -153,7 +158,7 @@ func BuildHalo(ctx *core.Ctx, g *core.Graph, dirs Dirs) (*Halo, error) {
 	for i, v := range sendVerts {
 		gids[i] = g.GlobalID(v)
 	}
-	recvGids, _, err := comm.Alltoallv(ctx.Comm, gids, sendCounts)
+	recvGids, recvSegs, err := comm.Alltoallv(ctx.Comm, gids, sendCounts)
 	if err != nil {
 		return nil, err
 	}
@@ -169,6 +174,7 @@ func BuildHalo(ctx *core.Ctx, g *core.Graph, dirs Dirs) (*Halo, error) {
 		sendVerts:  sendVerts,
 		sendCounts: sendCounts,
 		recvLids:   recvLids,
+		recvSegs:   recvSegs,
 		recvCounts: make([]int, p),
 	}, nil
 }

@@ -35,6 +35,12 @@ type Job struct {
 	// RandomTies and TieSeed configure LabelProp tie-breaking.
 	RandomTies bool   `json:"random_ties,omitempty"`
 	TieSeed    uint64 `json:"tie_seed,omitempty"`
+	// Hybrid selects the traversal engine policy for BFS-like analytics:
+	// "adaptive" (default; also "" or "hybrid"), "push" (always top-down,
+	// always-sparse exchange; also "sparse", "off"), or "dense" (always
+	// bottom-up / dense exchange; also "pull"). Results are bit-identical
+	// across policies; only wire format and work order change.
+	Hybrid string `json:"hybrid,omitempty"`
 }
 
 // Analytic names accepted by Job.Analytic.
@@ -60,6 +66,18 @@ func (j *Job) SourceRooted() bool {
 // Normalize fills parameter defaults in place so that equal queries have
 // equal descriptors (the cache-key and batch-compatibility requirement).
 func (j *Job) Normalize() {
+	if m, err := core.ParseTraversalMode(j.Hybrid); err == nil {
+		// Canonicalize policy aliases ("", "hybrid", "sparse", "pull", ...)
+		// so equal queries share a cache key; Validate rejects the rest.
+		switch m {
+		case core.TraversePush:
+			j.Hybrid = "push"
+		case core.TraverseDense:
+			j.Hybrid = "dense"
+		default:
+			j.Hybrid = "adaptive"
+		}
+	}
 	switch j.Analytic {
 	case JobBFS:
 		if j.Dir == "" {
@@ -112,6 +130,9 @@ func (j *Job) Validate(n uint32) error {
 		default:
 			return fmt.Errorf("analytics: bfs dir %q (want out, in, or und)", j.Dir)
 		}
+	}
+	if _, err := core.ParseTraversalMode(j.Hybrid); err != nil {
+		return fmt.Errorf("analytics: %s job: %w", j.Analytic, err)
 	}
 	return nil
 }
@@ -203,6 +224,19 @@ func Run(ctx *core.Ctx, g *core.Graph, job *Job) (*JobResult, error) {
 	if err := job.Validate(g.NGlobal); err != nil {
 		return nil, err
 	}
+	// A non-empty job policy overrides the context's mode for this run
+	// (alpha/beta stay whatever the process configured; an empty field
+	// keeps the process default). Every rank decodes the same job, so the
+	// override is uniform.
+	saved := ctx.Traverse
+	if job.Hybrid != "" {
+		mode, err := core.ParseTraversalMode(job.Hybrid)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Traverse.Mode = mode
+	}
+	defer func() { ctx.Traverse = saved }()
 	res := &JobResult{Analytic: job.Analytic}
 	switch job.Analytic {
 	case JobBFS:

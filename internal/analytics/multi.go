@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/par"
 )
 
 // Multi-source variants of the two Graph500-style traversals. The serve
@@ -55,12 +57,22 @@ type MultiBFSResult struct {
 	// source is isolated on a remote rank... i.e. never, the root itself
 	// is level 0, so -1 only for an empty traversal).
 	Depth []int
+	// Traversal records the batch's per-level claim-representation choices
+	// (multi-source levels are always push-direction: the per-source pull
+	// scan would multiply the whole-graph sweep by the batch size).
+	Traversal obs.TraversalStats
 }
 
 // MultiBFS runs level-synchronous BFS from every root concurrently: one
 // shared frontier of (vertex, source) pairs, one Alltoallv per level for
 // the whole batch. Each source's answer is bit-identical to a solo BFS
 // call with the same root and direction.
+//
+// Claims travel either as the sparse packed (global id, source) words or,
+// when one packed word per (vertex, source) claim would out-weigh it, as
+// the engine's fused dense exchange: one claim bit per halo slot followed
+// by a k-bit source mask per claimed ghost — claims for the same vertex
+// from different sources collapse into one mask.
 func MultiBFS(ctx *core.Ctx, g *core.Graph, roots []uint32, dir Dir) (*MultiBFSResult, error) {
 	if err := checkRoots(g, roots, "MultiBFS"); err != nil {
 		return nil, err
@@ -83,6 +95,11 @@ func MultiBFS(ctx *core.Ctx, g *core.Graph, roots []uint32, dir Dir) (*MultiBFSR
 		depth[s] = -1
 	}
 
+	eng := newFrontierEngine(ctx, g, nil)
+	mw := par.BitmapWords(k)
+	var claimMask []uint64    // NGst*mw source-mask accumulator (dense rounds)
+	var claimedGhosts []uint32 // ghosts with a non-empty mask this level
+
 	var msc multiScratch
 	tr := ctx.Comm.Tracer()
 	globalSize := uint64(1)
@@ -98,18 +115,95 @@ func MultiBFS(ctx *core.Ctx, g *core.Graph, roots []uint32, dir Dir) (*MultiBFSR
 		if err != nil {
 			return nil, err
 		}
-		arrived, err := exchangeMultiFrontier(ctx, g, send, &msc)
-		if err != nil {
-			return nil, err
+
+		// Representation decision: sparse ships one packed 8-byte word per
+		// (vertex, source) claim; dense ships the claim bitmap plus one
+		// k-bit mask per claimed ghost. Both inputs are globally reduced so
+		// every rank picks the same wire format; the first level piggybacks
+		// the global halo width.
+		claimedGhosts = claimedGhosts[:0]
+		dense := false
+		if eng.pol.Mode != core.TraversePush {
+			if claimMask == nil {
+				claimMask = make([]uint64, int(g.NGst)*mw)
+			}
+			for _, w := range send {
+				lid, s := unpack(w)
+				gi := int(lid-g.NLoc) * mw
+				m := claimMask[gi : gi+mw]
+				zero := true
+				for _, x := range m {
+					if x != 0 {
+						zero = false
+						break
+					}
+				}
+				if zero {
+					claimedGhosts = append(claimedGhosts, lid)
+				}
+				m[s>>6] |= 1 << (s & 63)
+			}
+			vals := [3]uint64{uint64(len(send)), uint64(len(claimedGhosts)), uint64(g.NGst)}
+			n := 2
+			if level == 0 {
+				n = 3
+			}
+			red, err := comm.AllreduceSlice(ctx.Comm, vals[:n], comm.OpSum)
+			if err != nil {
+				return nil, err
+			}
+			if level == 0 {
+				eng.gGhosts = red[2]
+			}
+			if eng.gGhosts > 0 {
+				dense = eng.pol.Mode == core.TraverseDense ||
+					8*red[0] > eng.gGhosts/8+8*uint64(mw)*red[1]
+			}
 		}
-		for _, w := range arrived {
-			lid, s := unpack(w)
-			if status[s][lid] == statusUnvisited {
-				status[s][lid] = statusPending
-				next = append(next, pack(lid, s))
+
+		if dense {
+			if err := eng.ensureHalo(ctx); err != nil {
+				return nil, err
+			}
+			err = eng.reverseValueExchange(ctx, claimedGhosts, mw,
+				func(u uint32, dst []uint64) {
+					copy(dst, claimMask[int(u-g.NLoc)*mw:int(u-g.NLoc+1)*mw])
+				},
+				func(v uint32, masks []uint64) error {
+					par.ForEachSetBit(masks, k, func(s int) {
+						if status[s][v] == statusUnvisited {
+							status[s][v] = statusPending
+							next = append(next, pack(v, s))
+						}
+					})
+					return nil
+				})
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			eng.noteSparse(len(send), 8)
+			arrived, err := exchangeMultiFrontier(ctx, g, send, &msc)
+			if err != nil {
+				return nil, err
+			}
+			for _, w := range arrived {
+				lid, s := unpack(w)
+				if status[s][lid] == statusUnvisited {
+					status[s][lid] = statusPending
+					next = append(next, pack(lid, s))
+				}
+			}
+		}
+		// Reset the touched masks for the next level.
+		for _, u := range claimedGhosts {
+			gi := int(u-g.NLoc) * mw
+			for i := gi; i < gi+mw; i++ {
+				claimMask[i] = 0
 			}
 		}
 		queue = next
+		eng.stats.PushSteps++
 		globalSize, err = comm.Allreduce(ctx.Comm, uint64(len(queue)), comm.OpSum)
 		if err != nil {
 			return nil, err
@@ -141,7 +235,7 @@ func MultiBFS(ctx *core.Ctx, g *core.Graph, roots []uint32, dir Dir) (*MultiBFSR
 	for s := range depths {
 		depths[s] = int(maxDepths[s])
 	}
-	return &MultiBFSResult{Levels: levels, Reached: totals, Depth: depths}, nil
+	return &MultiBFSResult{Levels: levels, Reached: totals, Depth: depths, Traversal: eng.stats}, nil
 }
 
 // expandMultiFrontier is expandFrontier generalized to (vertex, source)
@@ -269,6 +363,11 @@ type MultiSSSPResult struct {
 // MultiSSSP runs the queue-driven Bellman-Ford from every root
 // concurrently, sharing each round's Alltoallv across the batch. Each
 // source's distances equal a solo SSSP call with the same root and weights.
+//
+// MultiSSSP keeps the sparse representation unconditionally: each claim
+// carries its own 8-byte distance, so a dense encoding would still ship
+// per-claim payloads (per source, per vertex) and the bitmap prefix saves
+// nothing once k distances ride behind it.
 func MultiSSSP(ctx *core.Ctx, g *core.Graph, roots []uint32, w WeightFunc) (*MultiSSSPResult, error) {
 	if err := checkRoots(g, roots, "MultiSSSP"); err != nil {
 		return nil, err

@@ -37,4 +37,12 @@ const (
 	// SpanHarmonicVertex wraps one per-vertex harmonic-centrality sweep
 	// (a reverse BFS plus reduction); arg is the vertex's global id.
 	SpanHarmonicVertex = "harmonic/vertex"
+
+	// Per-step direction spans of the adaptive frontier engine: every
+	// BFS-like step emits exactly one of the pair alongside its per-level
+	// span, naming the direction the step ran; arg is the local frontier
+	// size entering the step. Decisions derive from globally reduced
+	// values, so the sequence is identical on every rank of a run.
+	SpanFrontierPush = "frontier/push"
+	SpanFrontierPull = "frontier/pull"
 )

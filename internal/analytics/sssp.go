@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -52,24 +53,38 @@ type SSSPResult struct {
 	Rounds int
 	// Reached is the global number of reachable vertices (root included).
 	Reached uint64
+	// Traversal records the engine's per-round representation choices and
+	// wire volume (SSSP rounds are always push-direction; only the claim
+	// representation adapts).
+	Traversal obs.TraversalStats
 }
 
 // SSSP computes shortest paths from the global vertex root along directed
 // edges under w.
+//
+// Distances live over owned and ghost slots: a ghost slot caches the best
+// distance this rank has ever shipped for it, so each round forwards each
+// ghost's improvement at most once (claims are deduplicated by an atomic
+// min on the ghost slot — strictly fewer messages than resending every
+// relaxation, identical fixed point). Claims travel either as the sparse
+// aligned (gid, dist) streams or, when the round's global claim count
+// makes it cheaper, as the engine's fused dense exchange: one packed claim
+// bit per halo slot followed by the claimed distances in slot order.
 func SSSP(ctx *core.Ctx, g *core.Graph, root uint32, w WeightFunc) (*SSSPResult, error) {
 	if root >= g.NGlobal {
 		return nil, fmt.Errorf("analytics: SSSP root %d outside %d vertices", root, g.NGlobal)
 	}
-	dist := make([]uint64, g.NLoc)
+	dist := make([]uint64, g.NTotal())
 	for v := range dist {
 		dist[v] = InfDistance
 	}
-	inQueue := make([]int32, g.NLoc) // CAS flag: already queued this round
+	inQueue := make([]int32, g.NTotal()) // CAS flag: owned = queued, ghost = claimed
 	var queue []uint32
 	if lid := g.LocalID(root); lid != core.InvalidLocal && lid < g.NLoc {
 		dist[lid] = 0
 		queue = append(queue, lid)
 	}
+	eng := newFrontierEngine(ctx, g, nil)
 
 	// Round-retained exchange scratch: routing tables and the two aligned
 	// (gid, dist) message streams are reused every round, so steady-state
@@ -85,12 +100,23 @@ func SSSP(ctx *core.Ctx, g *core.Graph, root uint32, w WeightFunc) (*SSSPResult,
 	rounds := 0
 	tr := ctx.Comm.Tracer()
 	for {
-		globalActive, err := comm.Allreduce(ctx.Comm, uint64(len(queue)), comm.OpSum)
-		if err != nil {
-			return nil, err
-		}
-		if globalActive == 0 {
-			break
+		if rounds == 0 {
+			red, err := comm.AllreduceSlice(ctx.Comm, []uint64{uint64(len(queue)), uint64(g.NGst)}, comm.OpSum)
+			if err != nil {
+				return nil, err
+			}
+			eng.gGhosts = red[1]
+			if red[0] == 0 {
+				break
+			}
+		} else {
+			globalActive, err := comm.Allreduce(ctx.Comm, uint64(len(queue)), comm.OpSum)
+			if err != nil {
+				return nil, err
+			}
+			if globalActive == 0 {
+				break
+			}
 		}
 		rounds++
 		mark := tr.Now()
@@ -100,15 +126,14 @@ func SSSP(ctx *core.Ctx, g *core.Graph, root uint32, w WeightFunc) (*SSSPResult,
 		}
 
 		// Relax the queue's out-edges; local improvements claim a slot in
-		// the next queue, remote improvements stage (gid, dist) messages.
+		// the next queue, ghost improvements claim the ghost slot (atomic
+		// min dedups repeat claims across threads and rounds).
 		nt := ctx.Pool.Threads()
 		nextPer := make([][]uint32, nt)
-		msgGidPer := make([][]uint32, nt)
-		msgDistPer := make([][]uint64, nt)
+		claimPer := make([][]uint32, nt)
 		ctx.Pool.For(len(queue), func(lo, hi, tid int) {
 			var next []uint32
-			var gids []uint32
-			var dists []uint64
+			var claims []uint32
 			for i := lo; i < hi; i++ {
 				v := queue[i]
 				dv := atomic.LoadUint64(&dist[v])
@@ -126,31 +151,58 @@ func SSSP(ctx *core.Ctx, g *core.Graph, root uint32, w WeightFunc) (*SSSPResult,
 							atomic.CompareAndSwapInt32(&inQueue[u], 0, 1) {
 							next = append(next, u)
 						}
-					} else {
-						gids = append(gids, uGid)
-						dists = append(dists, nd)
+					} else if atomicMinU64(&dist[u], nd) &&
+						atomic.CompareAndSwapInt32(&inQueue[u], 0, 1) {
+						claims = append(claims, u)
 					}
 				}
 			}
 			nextPer[tid] = next
-			msgGidPer[tid] = gids
-			msgDistPer[tid] = dists
+			claimPer[tid] = claims
 		})
 		var next []uint32
-		var msgGids []uint32
-		var msgDists []uint64
+		var claims []uint32
 		for t := 0; t < nt; t++ {
 			next = append(next, nextPer[t]...)
-			msgGids = append(msgGids, msgGidPer[t]...)
-			msgDists = append(msgDists, msgDistPer[t]...)
+			claims = append(claims, claimPer[t]...)
 		}
 
-		// Route improvements to owners as two aligned streams.
+		dense, err := eng.denseClaimRound(ctx, len(claims), 8)
+		if err != nil {
+			return nil, err
+		}
+		if dense {
+			if err := eng.ensureHalo(ctx); err != nil {
+				return nil, err
+			}
+			err = eng.reverseValueExchange(ctx, claims, 1,
+				func(u uint32, dst []uint64) { dst[0] = dist[u] },
+				func(v uint32, vals []uint64) error {
+					if vals[0] < dist[v] {
+						dist[v] = vals[0]
+						if inQueue[v] == 0 {
+							inQueue[v] = 1
+							next = append(next, v)
+						}
+					}
+					return nil
+				})
+			if err != nil {
+				return nil, err
+			}
+			queue = next
+			tr.Span(SpanSSSPRound, mark, int64(frontier))
+			continue
+		}
+
+		// Sparse representation: route claims to owners as two aligned
+		// (gid, dist) streams.
+		eng.noteSparse(len(claims), 12)
 		for i := range counts {
 			counts[i] = 0
 		}
-		for _, gid := range msgGids {
-			counts[ownerOfGid(g, gid)]++
+		for _, u := range claims {
+			counts[g.GhostOwner[u-g.NLoc]]++
 		}
 		var total uint64
 		for d, c := range counts {
@@ -163,10 +215,10 @@ func SSSP(ctx *core.Ctx, g *core.Graph, root uint32, w WeightFunc) (*SSSPResult,
 			sendDist = make([]uint64, total)
 		}
 		sendGid, sendDist = sendGid[:total], sendDist[:total]
-		for i, gid := range msgGids {
-			d := ownerOfGid(g, gid)
-			sendGid[cur[d]] = gid
-			sendDist[cur[d]] = msgDists[i]
+		for _, u := range claims {
+			d := g.GhostOwner[u-g.NLoc]
+			sendGid[cur[d]] = g.GlobalID(u)
+			sendDist[cur[d]] = dist[u]
 			cur[d]++
 		}
 		recvGid, recvGidCounts, err = comm.AlltoallvInto(ctx.Comm, sendGid, intCounts, recvGid, recvGidCounts)
@@ -207,7 +259,7 @@ func SSSP(ctx *core.Ctx, g *core.Graph, root uint32, w WeightFunc) (*SSSPResult,
 	if err != nil {
 		return nil, err
 	}
-	return &SSSPResult{Dist: dist, Rounds: rounds, Reached: reached}, nil
+	return &SSSPResult{Dist: dist[:g.NLoc], Rounds: rounds, Reached: reached, Traversal: eng.stats}, nil
 }
 
 // ownerOfGid resolves a ghost's owner through the graph's local id (all

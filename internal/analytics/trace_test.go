@@ -111,6 +111,7 @@ func TestGoldenTraceShape(t *testing.T) {
 	var bfsLevels int
 	for _, p := range []int{1, 2, 4} {
 		runs := goldenTraceRun(t, p)
+		var dirSeq0 []string
 		for r, run := range runs {
 			// PageRank runs exactly its configured 10 iterations; every
 			// rank participates in every one.
@@ -141,6 +142,28 @@ func TestGoldenTraceShape(t *testing.T) {
 			}
 			if n != bfsLevels {
 				t.Errorf("p=%d rank %d: %d bfs/level spans, want %d", p, r, n, bfsLevels)
+			}
+			// Adaptive direction spans: every BFS level runs exactly one
+			// direction, so the pair's counts sum to the level count.
+			push := countEvents(run, SpanFrontierPush)
+			pull := countEvents(run, SpanFrontierPull)
+			if push+pull != n {
+				t.Errorf("p=%d rank %d: %d push + %d pull direction spans for %d bfs levels", p, r, push, pull, n)
+			}
+			// Decisions derive from globally reduced statistics, so the
+			// direction sequence is identical on every rank of the run.
+			var dirSeq []string
+			for _, e := range run.events {
+				if strings.HasPrefix(e, SpanFrontierPush+" ") {
+					dirSeq = append(dirSeq, "push")
+				} else if strings.HasPrefix(e, SpanFrontierPull+" ") {
+					dirSeq = append(dirSeq, "pull")
+				}
+			}
+			if r == 0 {
+				dirSeq0 = dirSeq
+			} else if strings.Join(dirSeq, ",") != strings.Join(dirSeq0, ",") {
+				t.Errorf("p=%d rank %d: direction sequence %v differs from rank 0's %v", p, r, dirSeq, dirSeq0)
 			}
 			// The analytic spans ride on comm spans: the collectives each
 			// iteration performs must be present and attributed.

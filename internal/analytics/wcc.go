@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // WCCResult describes the weakly connected components of the graph.
@@ -23,6 +24,11 @@ type WCCResult struct {
 	// phase (diagnostic: how much work the cheap phase saved the coloring
 	// phase).
 	BFSReached uint64
+	// Traversal records the BFS phase's adaptive-engine choices (zero for
+	// the single-stage configuration). The coloring phase's halo is built
+	// up front and shared with the traversal engine, so Multistep WCC pays
+	// for at most one halo no matter which modes the BFS picks.
+	Traversal obs.TraversalStats
 }
 
 // WCC computes weakly connected components with the distributed Multistep
@@ -43,16 +49,23 @@ func WCCSingleStage(ctx *core.Ctx, g *core.Graph) (*WCCResult, error) {
 }
 
 func wcc(ctx *core.Ctx, g *core.Graph, multistep bool) (*WCCResult, error) {
+	// The coloring phase always needs the DirsBoth halo; building it up
+	// front lets the BFS phase's adaptive engine reuse it for dense
+	// frontier exchanges instead of constructing its own.
+	halo, err := BuildHalo(ctx, g, DirsBoth)
+	if err != nil {
+		return nil, err
+	}
+
 	// Phase 1: undirected BFS from the globally highest-degree vertex.
 	var bfs *BFSResult
 	var root uint32
 	if multistep {
-		var err error
 		root, err = maxDegreeVertex(ctx, g)
 		if err != nil {
 			return nil, err
 		}
-		bfs, err = BFS(ctx, g, root, Und)
+		bfs, err = bfsWithHalo(ctx, g, root, Und, halo)
 		if err != nil {
 			return nil, err
 		}
@@ -78,10 +91,6 @@ func wcc(ctx *core.Ctx, g *core.Graph, multistep bool) (*WCCResult, error) {
 		if bfs.Levels[v] >= 0 {
 			colors[v] = claimed
 		}
-	}
-	halo, err := BuildHalo(ctx, g, DirsBoth)
-	if err != nil {
-		return nil, err
 	}
 	if err := Exchange(ctx, halo, colors); err != nil {
 		return nil, err
@@ -161,6 +170,7 @@ func wcc(ctx *core.Ctx, g *core.Graph, multistep bool) (*WCCResult, error) {
 		LargestLabel:  largestLbl,
 		LargestSize:   largestSize,
 		BFSReached:    bfs.Reached,
+		Traversal:     bfs.Traversal,
 	}, nil
 }
 

@@ -1,0 +1,59 @@
+package comm
+
+import (
+	"testing"
+
+	"repro/internal/par"
+)
+
+// FuzzBitmapCodec drives the word codec with arbitrary byte streams
+// interpreted as (nbits, index list): the pack must either reject an
+// out-of-range index or round-trip the deduplicated set exactly.
+func FuzzBitmapCodec(f *testing.F) {
+	f.Add(uint16(1), []byte{0})
+	f.Add(uint16(64), []byte{0, 63, 1})
+	f.Add(uint16(65), []byte{64, 64, 2})
+	f.Add(uint16(300), []byte{0, 1, 2, 255})
+	f.Fuzz(func(t *testing.T, nbitsRaw uint16, raw []byte) {
+		nbits := int(nbitsRaw)%1000 + 1
+		idxs := make([]uint32, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			idxs = append(idxs, uint32(raw[i])<<8|uint32(raw[i+1]))
+		}
+		words := make([]uint64, par.BitmapWords(nbits))
+		err := BitsFromList(words, idxs, nbits)
+		inRange := true
+		for _, i := range idxs {
+			if int(i) >= nbits {
+				inRange = false
+			}
+		}
+		if inRange != (err == nil) {
+			t.Fatalf("nbits=%d idxs=%v: in-range=%v but err=%v", nbits, idxs, inRange, err)
+		}
+		if err != nil {
+			return
+		}
+		set := make(map[uint32]bool, len(idxs))
+		for _, i := range idxs {
+			set[i] = true
+		}
+		back := ListFromBits(nil, words, nbits)
+		if len(back) != len(set) {
+			t.Fatalf("nbits=%d: %d bits back, want %d", nbits, len(back), len(set))
+		}
+		prev := -1
+		for _, i := range back {
+			if !set[i] {
+				t.Fatalf("nbits=%d: spurious bit %d", nbits, i)
+			}
+			if int(i) <= prev {
+				t.Fatalf("nbits=%d: indices not strictly ascending at %d", nbits, i)
+			}
+			prev = int(i)
+		}
+		if c := par.OnesCountWords(words, nbits); c != len(set) {
+			t.Fatalf("nbits=%d: popcount %d, want %d", nbits, c, len(set))
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package comm
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// TestBitsRoundTripProperty pins the satellite requirement: sparse → dense
+// → sparse round-trips losslessly for arbitrary bit-universe sizes,
+// including ones that are not multiples of 64.
+func TestBitsRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		nbits := rng.Intn(500)
+		if trial%5 == 0 {
+			nbits = 64*rng.Intn(8) + rng.Intn(3) // hug the word boundaries
+		}
+		// Random subset, deduplicated, arbitrary order.
+		set := make(map[uint32]bool)
+		var idxs []uint32
+		for i := 0; i < rng.Intn(nbits+1); i++ {
+			v := uint32(rng.Intn(nbits))
+			if !set[v] {
+				set[v] = true
+				idxs = append(idxs, v)
+			}
+		}
+		rng.Shuffle(len(idxs), func(i, j int) { idxs[i], idxs[j] = idxs[j], idxs[i] })
+
+		words := make([]uint64, par.BitmapWords(nbits))
+		if err := BitsFromList(words, idxs, nbits); err != nil {
+			t.Fatal(err)
+		}
+		back := ListFromBits(nil, words, nbits)
+		sorted := append([]uint32(nil), idxs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		if len(back) != len(sorted) {
+			t.Fatalf("nbits=%d: round-trip returned %d indices, want %d", nbits, len(back), len(sorted))
+		}
+		for i := range back {
+			if back[i] != sorted[i] {
+				t.Fatalf("nbits=%d: index %d round-tripped to %d, want %d", nbits, i, back[i], sorted[i])
+			}
+		}
+	}
+}
+
+func TestBitsFromListRejectsOutOfRange(t *testing.T) {
+	words := make([]uint64, 2)
+	if err := BitsFromList(words, []uint32{70}, 70); err == nil {
+		t.Fatal("index == nbits accepted")
+	}
+	if err := BitsFromList(words, []uint32{69}, 70); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitSegmentOffsets(t *testing.T) {
+	offs, total := BitSegmentOffsets([]int{0, 1, 64, 65, 130})
+	want := []int{0, 0, 1, 2, 4}
+	for i, o := range offs {
+		if o != want[i] {
+			t.Fatalf("offs[%d] = %d, want %d", i, o, want[i])
+		}
+	}
+	if total != 7 {
+		t.Fatalf("total = %d, want 7", total)
+	}
+}
+
+// TestAlltoallvBits exercises the dense exchange end to end on the inproc
+// transport: every rank ships a distinct bit pattern to every destination
+// and checks the received segments bit for bit, across universe sizes that
+// straddle word boundaries.
+func TestAlltoallvBits(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		// bits[s][d] is the universe size of the s→d retained queue; made
+		// asymmetric and word-unaligned on purpose.
+		bitsFor := func(s, d int) int { return 17*s + 41*d + 3 }
+		member := func(s, d, i int) bool { return (i+s+3*d)%3 == 0 }
+		err := RunLocal(p, func(c *Comm) error {
+			self := c.Rank()
+			sendBits := make([]int, p)
+			for d := 0; d < p; d++ {
+				sendBits[d] = bitsFor(self, d)
+			}
+			offs, totalWords := BitSegmentOffsets(sendBits)
+			words := make([]uint64, totalWords)
+			for d := 0; d < p; d++ {
+				seg := words[offs[d]:]
+				for i := 0; i < sendBits[d]; i++ {
+					if member(self, d, i) {
+						seg[i>>6] |= 1 << (i & 63)
+					}
+				}
+			}
+			expectBits := make([]int, p)
+			for s := 0; s < p; s++ {
+				expectBits[s] = bitsFor(s, self)
+			}
+			var sc BitsScratch
+			for round := 0; round < 3; round++ { // reuse the scratch
+				recv, recvOffs, err := AlltoallvBits(c, words, sendBits, expectBits, &sc)
+				if err != nil {
+					return err
+				}
+				for s := 0; s < p; s++ {
+					seg := recv[recvOffs[s]:]
+					for i := 0; i < expectBits[s]; i++ {
+						got := seg[i>>6]&(1<<(i&63)) != 0
+						if got != member(s, self, i) {
+							t.Errorf("p=%d rank %d: bit %d from rank %d = %v, want %v", p, self, i, s, got, member(s, self, i))
+						}
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -11,9 +11,77 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/comm"
 	"repro/internal/par"
 )
+
+// TraversalMode selects the frontier strategy for the BFS-like analytics.
+type TraversalMode int
+
+// Traversal modes. The zero value is the adaptive engine, so a fresh Ctx
+// defaults to hybrid traversal on.
+const (
+	// TraverseAdaptive switches per step between top-down push and
+	// bottom-up pull, and between the sparse ID-list exchange and the dense
+	// bitmap exchange, based on globally reduced frontier statistics.
+	TraverseAdaptive TraversalMode = iota
+	// TraversePush always pushes over the out-CSR and always ships
+	// frontiers as sparse vertex lists — the pre-hybrid baseline, kept for
+	// equivalence tests and the ablation benchmark.
+	TraversePush
+	// TraverseDense forces the dense path everywhere it is legal
+	// (bottom-up pull for BFS, bitmap-compressed exchanges for SSSP and the
+	// batched kernels) — a stress configuration for correctness tests.
+	TraverseDense
+)
+
+// Default direction-switch thresholds (Beamer et al.): enter bottom-up when
+// the frontier's unexplored-edge mass exceeds 1/alpha of the remaining
+// mass, return to top-down when the frontier shrinks below 1/beta of the
+// vertex set.
+const (
+	DefaultAlpha = 14.0
+	DefaultBeta  = 24.0
+)
+
+// Traversal is the per-rank traversal policy. Every rank of a group must
+// hold an identical policy (like any other collective argument); the
+// engine's per-step decisions then derive from globally reduced values, so
+// all ranks switch direction and representation in lockstep.
+type Traversal struct {
+	Mode TraversalMode
+	// Alpha and Beta are the direction-switch thresholds; non-positive
+	// values select the defaults.
+	Alpha float64
+	Beta  float64
+}
+
+// Params returns the effective thresholds with defaults applied.
+func (t Traversal) Params() (alpha, beta float64) {
+	alpha, beta = t.Alpha, t.Beta
+	if alpha <= 0 {
+		alpha = DefaultAlpha
+	}
+	if beta <= 0 {
+		beta = DefaultBeta
+	}
+	return alpha, beta
+}
+
+// ParseTraversalMode maps the user-facing mode names onto the enum.
+func ParseTraversalMode(s string) (TraversalMode, error) {
+	switch s {
+	case "", "adaptive", "hybrid":
+		return TraverseAdaptive, nil
+	case "push", "sparse", "off":
+		return TraversePush, nil
+	case "dense", "pull":
+		return TraverseDense, nil
+	}
+	return 0, fmt.Errorf("core: traversal mode %q (want adaptive, push, or dense)", s)
+}
 
 // Ctx bundles one rank's execution resources: the communicator for
 // inter-rank collectives (the MPI role) and the worker pool for intra-rank
@@ -21,6 +89,9 @@ import (
 type Ctx struct {
 	Comm *comm.Comm
 	Pool *par.Pool
+	// Traverse is the frontier policy for BFS-like analytics; the zero
+	// value is the adaptive engine with default thresholds.
+	Traverse Traversal
 }
 
 // NewCtx returns a context with the given number of intra-rank threads

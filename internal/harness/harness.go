@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/core"
 	"repro/internal/obs"
 )
 
@@ -40,6 +41,14 @@ type Config struct {
 	// experiments spin up; the zero value disables retries (a MaxAttempts
 	// of 1 or less means a single attempt per exchange).
 	Retry comm.RetryPolicy
+	// Traverse is the frontier policy armed on every rank (mode plus
+	// alpha/beta switch thresholds); the zero value is the adaptive engine
+	// with default thresholds. The hybrid experiment overrides the mode
+	// per measurement cell but keeps the thresholds.
+	Traverse core.Traversal
+	// BenchPath, when non-empty, makes the hybrid experiment write its
+	// measurements as machine-readable JSON (BENCH_5.json) to this path.
+	BenchPath string
 }
 
 // Default returns the laptop-scale configuration.

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestHybridAdaptiveReducesTraffic is the benchmark smoke pin CI runs: on
+// the harness RMAT graph the adaptive policy must not ship more traversal
+// bytes than the always-sparse push baseline. The heavy-skew, degree-36
+// graph saturates its frontier within a couple of steps, which is exactly
+// the regime the dense bitmap exchange and the bottom-up switch exist for —
+// if adaptive ever loses here, the heuristic has regressed.
+func TestHybridAdaptiveReducesTraffic(t *testing.T) {
+	cfg := tinyConfig()
+	spec := cfg.wcSim()
+	sent := make(map[string]float64)
+	steps := make(map[string]uint64)
+	for _, m := range hybridModes {
+		if m.Mode == core.TraverseDense {
+			continue // the forced extreme is covered by the experiment itself
+		}
+		entries, err := HybridRaw(cfg, 2, "wc-rmat", spec, m.Name, m.Mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			sent[m.Name] += e.SentMiB
+			steps[m.Name] += e.Stats.Steps()
+		}
+	}
+	if steps["push"] == 0 || steps["adaptive"] == 0 {
+		t.Fatalf("degenerate run: %d push-mode steps, %d adaptive steps", steps["push"], steps["adaptive"])
+	}
+	if sent["adaptive"] > sent["push"] {
+		t.Fatalf("adaptive shipped %.3f MiB, push baseline %.3f MiB: the hybrid engine must not exceed the always-sparse baseline on the RMAT graph",
+			sent["adaptive"], sent["push"])
+	}
+	t.Logf("sent MiB: push=%.3f adaptive=%.3f (saved %.1f%%)",
+		sent["push"], sent["adaptive"], 100*(1-sent["adaptive"]/sent["push"]))
+}
+
+// TestHybridBenchArtifact pins the BENCH_5.json plumbing: the experiment
+// writes a parseable document whose entries cover every (graph, analytic,
+// mode) cell.
+func TestHybridBenchArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full hybrid grid")
+	}
+	cfg := tinyConfig()
+	cfg.BenchPath = filepath.Join(t.TempDir(), "BENCH_5.json")
+	rep, err := Hybrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2*3*3 {
+		t.Fatalf("%d rows, want 18 (2 graphs x 3 modes x 3 analytics)", len(rep.Rows))
+	}
+	data, err := os.ReadFile(cfg.BenchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b HybridBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Experiment != "hybrid" || len(b.Entries) != len(rep.Rows) {
+		t.Fatalf("artifact experiment %q with %d entries, want hybrid with %d", b.Experiment, len(b.Entries), len(rep.Rows))
+	}
+	seen := make(map[string]bool)
+	for _, e := range b.Entries {
+		seen[e.Graph+"/"+e.Analytic+"/"+e.Mode] = true
+		if e.WallSecs <= 0 {
+			t.Fatalf("entry %s/%s/%s has non-positive wall time", e.Graph, e.Analytic, e.Mode)
+		}
+	}
+	for _, g := range []string{"wc-rmat", "er"} {
+		for _, a := range hybridAnalytics {
+			for _, m := range hybridModes {
+				if !seen[g+"/"+a+"/"+m.Name] {
+					t.Fatalf("artifact missing cell %s/%s/%s", g, a, m.Name)
+				}
+			}
+		}
+	}
+}

@@ -34,6 +34,7 @@ func Experiments() []Experiment {
 		{"ablations", Ablations},
 		{"endtoend", EndToEnd},
 		{"serve", Serve},
+		{"hybrid", Hybrid},
 	}
 }
 

@@ -98,6 +98,7 @@ func (cfg Config) buildGraph(p int, src core.EdgeSource, n uint32, kind partitio
 			c.SetRetryPolicy(cfg.Retry)
 		}
 		ctx := core.NewCtx(c, cfg.Threads)
+		ctx.Traverse = cfg.Traverse
 		pt, err := core.MakePartitioner(ctx, src, kind, n, cfg.Seed)
 		if err != nil {
 			return err

@@ -1,0 +1,150 @@
+package par
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Bitmap is a dense set over [0, n) backed by 64-bit words, the frontier
+// representation of the bottom-up traversal steps. The single-writer
+// methods (Set, ClearAll) follow the package's one-goroutine-drives rule;
+// SetAtomic is safe from concurrent pool workers.
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// NewBitmap returns an empty bitmap over [0, n).
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{words: make([]uint64, BitmapWords(n)), n: n}
+}
+
+// BitmapWords returns the number of 64-bit words that hold n bits.
+func BitmapWords(n int) int { return (n + 63) / 64 }
+
+// Len returns the bit-universe size n.
+func (b *Bitmap) Len() int { return b.n }
+
+// Words exposes the backing words (length BitmapWords(Len())) for packing
+// into wire segments.
+func (b *Bitmap) Words() []uint64 { return b.words }
+
+// Set marks bit i. Not safe for concurrent writers; see SetAtomic.
+func (b *Bitmap) Set(i uint32) { b.words[i>>6] |= 1 << (i & 63) }
+
+// SetAtomic marks bit i with an atomic OR, safe from concurrent pool
+// workers filling disjoint-or-overlapping bit sets.
+func (b *Bitmap) SetAtomic(i uint32) {
+	w := &b.words[i>>6]
+	mask := uint64(1) << (i & 63)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask != 0 {
+			return
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|mask) {
+			return
+		}
+	}
+}
+
+// Get reports whether bit i is set.
+func (b *Bitmap) Get(i uint32) bool { return b.words[i>>6]&(1<<(i&63)) != 0 }
+
+// ClearAll zeroes the bitmap, fanning the memset over the pool for large
+// maps (the per-step reset of a reused frontier bitmap).
+func (b *Bitmap) ClearAll(p *Pool) {
+	const parMin = 1 << 14 // words; below this a straight clear wins
+	w := b.words
+	if p == nil || p.Threads() == 1 || len(w) < parMin {
+		for i := range w {
+			w[i] = 0
+		}
+		return
+	}
+	p.For(len(w), func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			w[i] = 0
+		}
+	})
+}
+
+// Count returns the population count, fanning the word scan over the pool.
+func (b *Bitmap) Count(p *Pool) uint64 {
+	w := b.words
+	if p == nil || p.Threads() == 1 || len(w) < 1<<14 {
+		var c uint64
+		for _, x := range w {
+			c += uint64(bits.OnesCount64(x))
+		}
+		return c
+	}
+	return p.SumRangeU64(len(w), func(i int) uint64 {
+		return uint64(bits.OnesCount64(w[i]))
+	})
+}
+
+// PackBits fills words (length >= BitmapWords(n)) so bit i equals
+// member(i) for i in [0, n), splitting whole words across the pool: each
+// worker owns a disjoint word range, so no atomics are needed. Tail bits
+// of the last word are zero.
+func PackBits(p *Pool, words []uint64, n int, member func(i int) bool) {
+	nw := BitmapWords(n)
+	packWord := func(wi int) {
+		lo := wi * 64
+		hi := lo + 64
+		if hi > n {
+			hi = n
+		}
+		var w uint64
+		for i := lo; i < hi; i++ {
+			if member(i) {
+				w |= 1 << uint(i-lo)
+			}
+		}
+		words[wi] = w
+	}
+	if p == nil || p.Threads() == 1 || nw < 256 {
+		for wi := 0; wi < nw; wi++ {
+			packWord(wi)
+		}
+		return
+	}
+	p.For(nw, func(lo, hi, _ int) {
+		for wi := lo; wi < hi; wi++ {
+			packWord(wi)
+		}
+	})
+}
+
+// ForEachSetBit invokes fn for every set bit index in words' first n bits,
+// in ascending order. The word skip makes sparse bitmaps cheap to drain.
+func ForEachSetBit(words []uint64, n int, fn func(i int)) {
+	nw := BitmapWords(n)
+	for wi := 0; wi < nw; wi++ {
+		w := words[wi]
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			i := wi*64 + bit
+			if i >= n {
+				return
+			}
+			fn(i)
+			w &= w - 1
+		}
+	}
+}
+
+// OnesCountWords returns the population count of words' first n bits.
+func OnesCountWords(words []uint64, n int) int {
+	nw := BitmapWords(n)
+	c := 0
+	for wi := 0; wi < nw; wi++ {
+		w := words[wi]
+		if wi == nw-1 && n%64 != 0 {
+			w &= (1 << uint(n%64)) - 1
+		}
+		c += bits.OnesCount64(w)
+	}
+	return c
+}

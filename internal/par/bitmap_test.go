@@ -1,0 +1,94 @@
+package par
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestBitmapSetGetClear(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 1000} {
+		b := NewBitmap(n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		want := make(map[uint32]bool)
+		for i := 0; i < n/2+1 && n > 0; i++ {
+			v := uint32(rng.Intn(n))
+			b.Set(v)
+			want[v] = true
+		}
+		for i := 0; i < n; i++ {
+			if got := b.Get(uint32(i)); got != want[uint32(i)] {
+				t.Fatalf("n=%d: bit %d = %v, want %v", n, i, got, want[uint32(i)])
+			}
+		}
+		if got := b.Count(nil); got != uint64(len(want)) {
+			t.Fatalf("n=%d: count %d, want %d", n, got, len(want))
+		}
+		b.ClearAll(NewPool(4))
+		if got := b.Count(NewPool(4)); got != 0 {
+			t.Fatalf("n=%d: count %d after clear, want 0", n, got)
+		}
+	}
+}
+
+func TestBitmapSetAtomicConcurrent(t *testing.T) {
+	const n = 1 << 12
+	b := NewBitmap(n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 2 { // overlapping ranges on purpose
+				b.SetAtomic(uint32(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := b.Count(nil); got != n {
+		t.Fatalf("count %d, want %d", got, n)
+	}
+}
+
+func TestPackBitsMatchesSerial(t *testing.T) {
+	for _, n := range []int{0, 1, 64, 65, 300, 4096, 70000} {
+		member := func(i int) bool { return i%3 == 0 || i%7 == 2 }
+		ser := make([]uint64, BitmapWords(n))
+		PackBits(nil, ser, n, member)
+		parw := make([]uint64, BitmapWords(n))
+		PackBits(NewPool(4), parw, n, member)
+		for i := range ser {
+			if ser[i] != parw[i] {
+				t.Fatalf("n=%d: word %d differs: %x vs %x", n, i, ser[i], parw[i])
+			}
+		}
+		// Every set bit round-trips through ForEachSetBit.
+		got := 0
+		ForEachSetBit(ser, n, func(i int) {
+			if !member(i) {
+				t.Fatalf("n=%d: spurious bit %d", n, i)
+			}
+			got++
+		})
+		want := 0
+		for i := 0; i < n; i++ {
+			if member(i) {
+				want++
+			}
+		}
+		if got != want {
+			t.Fatalf("n=%d: visited %d bits, want %d", n, got, want)
+		}
+		if c := OnesCountWords(ser, n); c != want {
+			t.Fatalf("n=%d: OnesCountWords %d, want %d", n, c, want)
+		}
+	}
+}
+
+func TestOnesCountWordsIgnoresTail(t *testing.T) {
+	// Garbage beyond bit n must not count.
+	words := []uint64{^uint64(0), ^uint64(0)}
+	if got := OnesCountWords(words, 70); got != 70 {
+		t.Fatalf("count %d, want 70", got)
+	}
+}

@@ -474,7 +474,8 @@ func batchable(a, b *analytics.Job) bool {
 		b.MaxWeight == a.MaxWeight &&
 		b.WeightSeed == a.WeightSeed &&
 		b.RandomTies == a.RandomTies &&
-		b.TieSeed == a.TieSeed
+		b.TieSeed == a.TieSeed &&
+		b.Hybrid == a.Hybrid // canonicalized by Normalize, so aliases compare equal
 }
 
 // mergeBatch builds the SPMD job descriptor answering every member of the
