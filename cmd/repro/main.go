@@ -42,7 +42,8 @@ func main() {
 		hybrid    = flag.String("hybrid", "adaptive", "traversal policy for BFS-like analytics: adaptive, push (always-sparse baseline), dense")
 		alpha     = flag.Float64("alpha", core.DefaultAlpha, "push->pull switch threshold (enter bottom-up when frontier edge mass > unexplored/alpha)")
 		beta      = flag.Float64("beta", core.DefaultBeta, "pull->push switch threshold (return to top-down when frontier < vertices/beta)")
-		bench     = flag.String("bench", "", "write the hybrid experiment's measurements as JSON (e.g. BENCH_5.json) to this path")
+		bench     = flag.String("bench", "", "write the hybrid/delta experiment's measurements as JSON (e.g. BENCH_5.json) to this path")
+		delta     = flag.Uint64("delta", 0, "extra fixed Δ-stepping bucket width for the delta experiment's sweep (0 = sweep only 1, mean, 2*mean)")
 	)
 	flag.Parse()
 	if *retries < 1 {
@@ -78,6 +79,7 @@ func main() {
 	cfg.TmpDir = *tmp
 	cfg.Traverse = core.Traversal{Mode: mode, Alpha: *alpha, Beta: *beta}
 	cfg.BenchPath = *bench
+	cfg.Delta = *delta
 	if *retries > 1 {
 		cfg.Retry = comm.DefaultRetryPolicy()
 		cfg.Retry.MaxAttempts = *retries

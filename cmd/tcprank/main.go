@@ -52,6 +52,7 @@ func main() {
 		ckptEvery = flag.Int("ckpt-every", 0, "checkpoint PageRank state every K iterations (0 = off)")
 		ckptDir   = flag.String("ckpt-dir", "", "directory for per-rank checkpoint files (with -ckpt-every or -resume)")
 		resume    = flag.Bool("resume", false, "resume PageRank from this rank's checkpoint in -ckpt-dir")
+		kcore     = flag.Bool("kcore", false, "also run exact k-core peeling and report the degeneracy")
 		hybrid    = flag.String("hybrid", "adaptive", "traversal policy for BFS-like analytics: adaptive, push (always-sparse baseline), dense; must agree across ranks")
 		alpha     = flag.Float64("alpha", core.DefaultAlpha, "push->pull switch threshold; must agree across ranks")
 		beta      = flag.Float64("beta", core.DefaultBeta, "pull->push switch threshold; must agree across ranks")
@@ -218,6 +219,19 @@ func main() {
 	if *rank == 0 {
 		fmt.Printf("rank 0: PageRank %d iters in %.3fs (max score %.3g); WCC in %.3fs: %d components, largest %d\n",
 			pr.Iterations, prTime.Seconds(), maxPR, wccTime.Seconds(), wcc.NumComponents, wcc.LargestSize)
+	}
+	if *kcore {
+		// -kcore must agree across ranks (KCoreExact is collective), like
+		// every other workload-shaping flag here.
+		start = time.Now()
+		kc, err := analytics.KCoreExact(ctx, g)
+		if err != nil {
+			fatal(err)
+		}
+		if *rank == 0 {
+			fmt.Printf("rank 0: exact k-core in %.3fs: degeneracy %d (%d buckets, %d peels)\n",
+				time.Since(start).Seconds(), kc.MaxCore, kc.Buckets.Buckets, kc.Buckets.Extracted)
+		}
 	}
 	if err := c.Barrier(); err != nil {
 		fatal(err)

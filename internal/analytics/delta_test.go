@@ -1,0 +1,267 @@
+package analytics
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/partition"
+	"repro/internal/seq"
+)
+
+// TestDeltaSSSPMatchesDijkstra sweeps Δ across the degenerate extremes and
+// the auto heuristic: Δ=1 (near-Dijkstra bucket granularity), Δ=0 (auto =
+// mean weight), and a Δ past every path length (degenerates to
+// Bellman-Ford with one fat bucket). All must match the sequential oracle
+// bit-for-bit at every rank count — distances are the fixed point of the
+// same monotone relaxations regardless of schedule.
+func TestDeltaSSSPMatchesDijkstra(t *testing.T) {
+	wDist := HashWeights(5, 9)
+	wSeq := func(u, v uint32) uint64 { return HashWeights(5, 9)(u, v) }
+	for _, tg := range makeTestGraphs(t) {
+		want := seq.Dijkstra(tg.ref, 0, wSeq)
+		for _, delta := range []uint64{1, 0, 1 << 40} {
+			delta := delta
+			runConfigs(t, tg, func(ctx *core.Ctx, g *core.Graph) error {
+				res, err := SSSPDelta(ctx, g, 0, wDist, delta)
+				if err != nil {
+					return err
+				}
+				if res.Delta == 0 || (delta != 0 && res.Delta != delta) {
+					return fmt.Errorf("delta=%d: result Delta = %d", delta, res.Delta)
+				}
+				global, err := core.Gather(ctx, g, res.Dist)
+				if err != nil {
+					return err
+				}
+				for v := range want {
+					if global[v] != want[v] {
+						return fmt.Errorf("delta=%d: dist[%d] = %d, want %d", delta, v, global[v], want[v])
+					}
+				}
+				return nil
+			})
+		}
+	}
+}
+
+// TestDeltaMatchesRounds pins the two SSSP implementations against each
+// other (bit-identical distances and Reached) and checks the Δ-stepping
+// run actually reports bucket work.
+func TestDeltaMatchesRounds(t *testing.T) {
+	tg := makeTestGraphs(t)[4] // rmat
+	w := HashWeights(7, 8)
+	runConfigs(t, tg, func(ctx *core.Ctx, g *core.Graph) error {
+		dl, err := SSSPDelta(ctx, g, 0, w, 0)
+		if err != nil {
+			return err
+		}
+		rd, err := SSSPRounds(ctx, g, 0, w)
+		if err != nil {
+			return err
+		}
+		for v := range dl.Dist {
+			if dl.Dist[v] != rd.Dist[v] {
+				return fmt.Errorf("dist[%d]: delta %d vs rounds %d", v, dl.Dist[v], rd.Dist[v])
+			}
+		}
+		if dl.Reached != rd.Reached {
+			return fmt.Errorf("Reached: delta %d vs rounds %d", dl.Reached, rd.Reached)
+		}
+		if dl.Buckets.Buckets == 0 || dl.Buckets.Extracted == 0 {
+			return fmt.Errorf("delta run reports no bucket work: %+v", dl.Buckets)
+		}
+		if rd.Buckets.Buckets != 0 {
+			return fmt.Errorf("rounds run reports bucket work: %+v", rd.Buckets)
+		}
+		return nil
+	})
+}
+
+// TestDeltaUnitWeightsEqualsBFS pins the degenerate schedule: unit weights
+// with Δ=1 settle exactly one BFS level per bucket, so distances equal BFS
+// depths bit-for-bit.
+func TestDeltaUnitWeightsEqualsBFS(t *testing.T) {
+	tg := makeTestGraphs(t)[4] // rmat
+	runConfigs(t, tg, func(ctx *core.Ctx, g *core.Graph) error {
+		return diffDeltaUnitVsBFS(ctx, g)
+	})
+}
+
+// diffDeltaUnitVsBFS runs Δ=1 unit-weight Δ-stepping and BFS on the same
+// graph and compares depth-for-depth.
+func diffDeltaUnitVsBFS(ctx *core.Ctx, g *core.Graph) error {
+	ss, err := SSSPDelta(ctx, g, 0, UnitWeights, 1)
+	if err != nil {
+		return err
+	}
+	bf, err := BFS(ctx, g, 0, Forward)
+	if err != nil {
+		return err
+	}
+	for v := range ss.Dist {
+		wantInf := bf.Levels[v] < 0
+		gotInf := ss.Dist[v] == InfDistance
+		if wantInf != gotInf {
+			return fmt.Errorf("reachability disagrees at local %d", v)
+		}
+		if !gotInf && ss.Dist[v] != uint64(bf.Levels[v]) {
+			return fmt.Errorf("unit delta %d vs BFS level %d at local %d", ss.Dist[v], bf.Levels[v], v)
+		}
+	}
+	if ss.Reached != bf.Reached {
+		return fmt.Errorf("Reached %d vs BFS %d", ss.Reached, bf.Reached)
+	}
+	return nil
+}
+
+// TestDeltaUnitWeightsEqualsBFSTCP reruns the Δ=1/BFS pin over a real TCP
+// mesh: same kernel, real transport framing under -race.
+func TestDeltaUnitWeightsEqualsBFSTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP mesh in -short mode")
+	}
+	const p = 3
+	spec := gen.Spec{Kind: gen.RMAT, NumVertices: 200, NumEdges: 1600, Seed: 5}
+	var mu sync.Mutex
+	failures := make(map[int]string)
+	errs, _ := runScheduledTCPRanks(t, p, comm.FaultSchedule{}, comm.RetryPolicy{}, func(ctx *core.Ctx) error {
+		src := core.SpecSource{Spec: spec}
+		pt, err := core.MakePartitioner(ctx, src, partition.Random, spec.NumVertices, 123)
+		if err != nil {
+			return err
+		}
+		g, _, err := core.Build(ctx, src, pt)
+		if err != nil {
+			return err
+		}
+		if err := diffDeltaUnitVsBFS(ctx, g); err != nil {
+			mu.Lock()
+			failures[ctx.Rank()] = err.Error()
+			mu.Unlock()
+			return err
+		}
+		return nil
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: %v", r, err)
+		}
+	}
+	for r, f := range failures {
+		t.Errorf("rank %d equivalence: %s", r, f)
+	}
+}
+
+// TestKCoreExactMatchesSequential compares the bucketed peel against the
+// quadratic oracle on every test graph and rank count.
+func TestKCoreExactMatchesSequential(t *testing.T) {
+	for _, tg := range makeTestGraphs(t) {
+		want := seq.Coreness(tg.ref)
+		var wantMax uint32
+		for _, c := range want {
+			if c > wantMax {
+				wantMax = c
+			}
+		}
+		runConfigs(t, tg, func(ctx *core.Ctx, g *core.Graph) error {
+			res, err := KCoreExact(ctx, g)
+			if err != nil {
+				return err
+			}
+			global, err := core.Gather(ctx, g, res.Coreness)
+			if err != nil {
+				return err
+			}
+			for v := range want {
+				if global[v] != want[v] {
+					return fmt.Errorf("coreness[%d] = %d, want %d", v, global[v], want[v])
+				}
+			}
+			if res.MaxCore != wantMax {
+				return fmt.Errorf("MaxCore = %d, want %d", res.MaxCore, wantMax)
+			}
+			return nil
+		})
+	}
+}
+
+// TestKCoreExactRefinesApprox sanity-checks the relationship between the
+// two k-core analytics: the approximate run's output is an upper bound.
+func TestKCoreExactRefinesApprox(t *testing.T) {
+	tg := makeTestGraphs(t)[4] // rmat
+	runConfigs(t, tg, func(ctx *core.Ctx, g *core.Graph) error {
+		exact, err := KCoreExact(ctx, g)
+		if err != nil {
+			return err
+		}
+		approx, err := KCoreApprox(ctx, g, 8)
+		if err != nil {
+			return err
+		}
+		for v := range exact.Coreness {
+			if exact.Coreness[v] > approx.CorenessUB[v] {
+				return fmt.Errorf("vertex %d: exact coreness %d above approx bound %d",
+					v, exact.Coreness[v], approx.CorenessUB[v])
+			}
+		}
+		return nil
+	})
+}
+
+// TestPageRankWeightedMatchesSequential compares against the sequential
+// weighted oracle under hashed weights.
+func TestPageRankWeightedMatchesSequential(t *testing.T) {
+	w := HashWeights(7, 8)
+	for _, tg := range makeTestGraphs(t) {
+		want := seq.PageRankWeighted(tg.ref, 10, 0.85, func(u, v uint32) uint64 { return w(u, v) })
+		runConfigs(t, tg, func(ctx *core.Ctx, g *core.Graph) error {
+			res, err := PageRankWeighted(ctx, g, DefaultPageRank(), w)
+			if err != nil {
+				return err
+			}
+			global, err := core.Gather(ctx, g, res.Scores)
+			if err != nil {
+				return err
+			}
+			sum := 0.0
+			for v := range want {
+				if math.Abs(global[v]-want[v]) > 1e-9 {
+					return fmt.Errorf("WPR[%d] = %v, want %v", v, global[v], want[v])
+				}
+				sum += global[v]
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return fmt.Errorf("weighted PageRank mass %v, want 1", sum)
+			}
+			return nil
+		})
+	}
+}
+
+// TestPageRankWeightedUnitEqualsPageRank pins the degenerate case: uniform
+// weights make the weighted pull identical to the unweighted one (same
+// arithmetic, same order), so the scores must match exactly.
+func TestPageRankWeightedUnitEqualsPageRank(t *testing.T) {
+	tg := makeTestGraphs(t)[4] // rmat
+	runConfigs(t, tg, func(ctx *core.Ctx, g *core.Graph) error {
+		wres, err := PageRankWeighted(ctx, g, DefaultPageRank(), UnitWeights)
+		if err != nil {
+			return err
+		}
+		ures, err := PageRank(ctx, g, DefaultPageRank())
+		if err != nil {
+			return err
+		}
+		for v := range wres.Scores {
+			if math.Abs(wres.Scores[v]-ures.Scores[v]) > 1e-12 {
+				return fmt.Errorf("unit-weight WPR[%d] = %v, PageRank %v", v, wres.Scores[v], ures.Scores[v])
+			}
+		}
+		return nil
+	})
+}

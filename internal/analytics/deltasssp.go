@@ -1,0 +1,299 @@
+package analytics
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+)
+
+// Δ-stepping SSSP (Meyer & Sanders) over the distributed bucket structure.
+// Vertices live in buckets keyed by dist/Δ; the group settles buckets in
+// ascending global order. Within a bucket, light edges (weight <= Δ — they
+// can re-file a target into the same bucket) are relaxed to a fixed point
+// in sub-rounds; heavy edges (weight > Δ — their targets always land in a
+// later bucket) are relaxed exactly once, after the bucket settles. With
+// unit weights and Δ=1 every bucket settles in one light sub-round and the
+// schedule degenerates to level-synchronous BFS; with Δ=∞ it degenerates to
+// Bellman-Ford. The sweet spot trades bucket-loop latency (more Allreduce
+// barriers) against wasted relaxations of not-yet-settled distances —
+// which, in distributed memory, are exactly the re-shipped ghost
+// improvements that dominate the round-based SSSP's wire volume.
+
+// splitCSR is the light/heavy edge split of the owned out-CSR with weights
+// materialized: each relaxation reads a contiguous (target, weight) pair
+// stream instead of re-hashing w per edge per sub-round. The split reuses
+// the CSR's own segment boundaries — vertex v's light edges occupy
+// to[OutIdx[v]:bound[v]], its heavy edges to[bound[v]:OutIdx[v+1]] — so it
+// builds in one pass with no counting or prefix-sum passes.
+type splitCSR struct {
+	bound []uint64 // per-vertex light/heavy boundary inside the CSR segment
+	to    []uint32
+	w     []uint64
+}
+
+// materializeWeights evaluates w once per owned out-edge, in CSR order.
+// Everything downstream (mean-weight reduction, light/heavy split) reads
+// the array instead of re-hashing — the weight function costs one pass no
+// matter how many sub-rounds re-relax an edge.
+func materializeWeights(ctx *core.Ctx, g *core.Graph, w WeightFunc) []uint64 {
+	wts := make([]uint64, g.MOut())
+	ctx.Pool.For(int(g.NLoc), func(lo, hi, _ int) {
+		for v := lo; v < hi; v++ {
+			vGid := g.GlobalID(uint32(v))
+			base := g.OutIdx[v]
+			for i, u := range g.OutNeighbors(uint32(v)) {
+				wts[base+uint64(i)] = w(vGid, g.GlobalID(u))
+			}
+		}
+	})
+	return wts
+}
+
+// buildSplit partitions every owned out-edge by weight class under delta,
+// in one parallel pass (each vertex's segment is disjoint): light edges
+// pack forward from the segment start, heavy edges pack backward from its
+// end. Heavy edges are relaxed exactly once each, so their reversed
+// in-segment order is immaterial.
+func buildSplit(ctx *core.Ctx, g *core.Graph, wts []uint64, delta uint64) *splitCSR {
+	n := int(g.NLoc)
+	s := &splitCSR{
+		bound: make([]uint64, n),
+		to:    make([]uint32, g.MOut()),
+		w:     make([]uint64, g.MOut()),
+	}
+	ctx.Pool.For(n, func(lo, hi, _ int) {
+		for v := lo; v < hi; v++ {
+			base := g.OutIdx[v]
+			li, hv := base, g.OutIdx[v+1]
+			for i, u := range g.OutNeighbors(uint32(v)) {
+				wt := wts[base+uint64(i)]
+				if wt <= delta {
+					s.to[li], s.w[li] = u, wt
+					li++
+				} else {
+					hv--
+					s.to[hv], s.w[hv] = u, wt
+				}
+			}
+			s.bound[v] = li
+		}
+	})
+	return s
+}
+
+// SSSPDelta computes shortest paths from the global vertex root along
+// directed edges under w by Δ-stepping with bucket width delta (0 picks the
+// globally reduced mean edge weight, the classic heuristic). Distances are
+// bit-identical to SSSPRounds for every delta: both compute the fixed point
+// of the same monotone min relaxations.
+//
+// Ghost slots cache the best distance ever shipped (atomic min), so each
+// sub-round forwards each ghost's improvement at most once; per-sub-round
+// claims travel sparse or dense by the engine's globally reduced byte
+// estimate. Collective structure per bucket: one Allreduce picking the
+// bucket, one Allreduce + claim exchange per light sub-round, one claim
+// exchange for the heavy phase.
+func SSSPDelta(ctx *core.Ctx, g *core.Graph, root uint32, w WeightFunc, delta uint64) (*SSSPResult, error) {
+	if root >= g.NGlobal {
+		return nil, fmt.Errorf("analytics: SSSP root %d outside %d vertices", root, g.NGlobal)
+	}
+	eng := newFrontierEngine(ctx, g, nil)
+
+	// One collective seeds everything rank-invariant: the mean edge weight
+	// (the default Δ) and the global halo width the engine's representation
+	// choice needs.
+	wts := materializeWeights(ctx, g, w)
+	sumW := ctx.Pool.SumRangeU64(len(wts), func(i int) uint64 { return wts[i] })
+	red, err := comm.AllreduceSlice(ctx.Comm, []uint64{sumW, g.MOut(), uint64(g.NGst)}, comm.OpSum)
+	if err != nil {
+		return nil, err
+	}
+	eng.gGhosts = red[2]
+	if delta == 0 {
+		delta = 1
+		if red[1] > 0 && red[0]/red[1] > 1 {
+			delta = red[0] / red[1]
+		}
+	}
+	split := buildSplit(ctx, g, wts, delta)
+
+	dist := make([]uint64, g.NTotal())
+	for v := range dist {
+		dist[v] = InfDistance
+	}
+	bk := newBucketStore(int(g.NLoc), delta, bucketWindow)
+	bc := newBucketComm(eng)
+	if lid := g.LocalID(root); lid != core.InvalidLocal && lid < g.NLoc {
+		dist[lid] = 0
+		bk.update(lid, 0)
+	}
+
+	// inFlight dedups per-sub-round improvement lists across threads (owned
+	// slots -> bucket updates, ghost slots -> claims); flags are cleared via
+	// the lists themselves, never a wholesale NTotal sweep.
+	inFlight := make([]int32, g.NTotal())
+	// settledAt[v] == k+1 marks v as already collected for bucket k's heavy
+	// phase (an in-bucket decrease-key re-extracts a vertex; it must relax
+	// its heavy edges only once).
+	settledAt := make([]uint64, g.NLoc)
+
+	nt := ctx.Pool.Threads()
+	localPer := make([][]uint32, nt)
+	claimPer := make([][]uint32, nt)
+	// relax fans src's edge class out in parallel — light edges span
+	// starts[v]..ends[v] = OutIdx[v]..bound[v], heavy bound[v]..OutIdx[v+1]
+	// — and deduplicates improvements into combined locals/claims lists.
+	relax := func(src []uint32, starts, ends []uint64) (locals, claims []uint32, edges uint64) {
+		ctx.Pool.For(len(src), func(lo, hi, tid int) {
+			var loc, clm []uint32
+			var ne uint64
+			for i := lo; i < hi; i++ {
+				v := src[i]
+				dv := atomic.LoadUint64(&dist[v])
+				b, e := starts[v], ends[v]
+				ne += e - b
+				for j := b; j < e; j++ {
+					u := split.to[j]
+					nd := dv + split.w[j]
+					if nd < dv {
+						continue // overflow beyond any real path length
+					}
+					if atomicMinU64(&dist[u], nd) &&
+						atomic.CompareAndSwapInt32(&inFlight[u], 0, 1) {
+						if u < g.NLoc {
+							loc = append(loc, u)
+						} else {
+							clm = append(clm, u)
+						}
+					}
+				}
+			}
+			localPer[tid], claimPer[tid] = loc, clm
+			atomic.AddUint64(&edges, ne)
+		})
+		for t := 0; t < nt; t++ {
+			locals = append(locals, localPer[t]...)
+			claims = append(claims, claimPer[t]...)
+			localPer[t], claimPer[t] = nil, nil
+		}
+		return locals, claims, edges
+	}
+	// arrive merges one claimed distance into an owned vertex (serial).
+	arrive := func(v uint32, x uint64) error {
+		if x < dist[v] {
+			dist[v] = x
+			bk.update(v, x)
+		}
+		return nil
+	}
+	clearFlags := func(lists ...[]uint32) {
+		for _, l := range lists {
+			for _, u := range l {
+				inFlight[u] = 0
+			}
+		}
+	}
+
+	rounds := 0
+	tr := ctx.Comm.Tracer()
+	var extracted, settled, allLocals, allClaims []uint32
+	for {
+		k, ok, err := bk.nextBucket(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		mark := tr.Now()
+		settled = settled[:0]
+		// Light phase: relax light edges to a fixed point within bucket k.
+		// Each sub-round's Allreduce of the extracted count keeps the group
+		// in lockstep (the exchange itself is collective). Within a
+		// sub-round, light chains that stay inside bucket k cascade locally
+		// without touching the bucket or a collective — only cross-rank
+		// chain hops cost a sub-round, so the bucket-loop latency scales
+		// with the chain's rank-crossing depth, not its length.
+		for {
+			extracted = bk.extract(k, extracted[:0])
+			gActive, err := comm.Allreduce(ctx.Comm, uint64(len(extracted)), comm.OpSum)
+			if err != nil {
+				return nil, err
+			}
+			if gActive == 0 {
+				break
+			}
+			rounds++
+			bk.stats.InnerRounds++
+			allLocals, allClaims = allLocals[:0], allClaims[:0]
+			frontier := extracted
+			for len(frontier) > 0 {
+				for _, v := range frontier {
+					if settledAt[v] != k+1 {
+						settledAt[v] = k + 1
+						settled = append(settled, v)
+					}
+				}
+				locals, claims, edges := relax(frontier, g.OutIdx, split.bound)
+				bk.stats.LightRelaxations += edges
+				allClaims = append(allClaims, claims...)
+				// Same-bucket improvements cascade now (their flag drops so
+				// a further improvement re-enqueues them with the smaller
+				// distance); later-bucket improvements file at the end with
+				// whatever distance the cascade settles on.
+				cascade := locals[:0]
+				for _, u := range locals {
+					if bk.bucketOf(dist[u]) == k {
+						inFlight[u] = 0
+						cascade = append(cascade, u)
+					} else {
+						allLocals = append(allLocals, u)
+					}
+				}
+				frontier = cascade
+			}
+			if err := bc.exchange(ctx, allClaims, func(u uint32) uint64 { return dist[u] }, arrive); err != nil {
+				return nil, err
+			}
+			for _, u := range allLocals {
+				bk.update(u, dist[u])
+			}
+			clearFlags(allLocals, allClaims)
+		}
+		// Heavy phase: every vertex settled in bucket k relaxes its heavy
+		// edges once; all targets land in buckets > k, so one exchange
+		// suffices.
+		rounds++
+		locals, claims, edges := relax(settled, split.bound, g.OutIdx[1:])
+		bk.stats.HeavyRelaxations += edges
+		if err := bc.exchange(ctx, claims, func(u uint32) uint64 { return dist[u] }, arrive); err != nil {
+			return nil, err
+		}
+		for _, u := range locals {
+			bk.update(u, dist[u])
+		}
+		clearFlags(locals, claims)
+		tr.Span(SpanSSSPBucket, mark, int64(len(settled)))
+	}
+
+	localReached := ctx.Pool.SumRangeU64(int(g.NLoc), func(i int) uint64 {
+		if dist[i] != InfDistance {
+			return 1
+		}
+		return 0
+	})
+	reached, err := comm.Allreduce(ctx.Comm, localReached, comm.OpSum)
+	if err != nil {
+		return nil, err
+	}
+	return &SSSPResult{
+		Dist:      dist[:g.NLoc],
+		Rounds:    rounds,
+		Reached:   reached,
+		Delta:     delta,
+		Traversal: eng.stats,
+		Buckets:   bk.stats,
+	}, nil
+}

@@ -380,11 +380,11 @@ func (e *frontierEngine) reverseValueExchange(ctx *core.Ctx, claims []uint32, pa
 		perDest[r]++
 	}
 
-	// Pass 2: lay out words ++ payload per destination and fill payload in
-	// ascending slot order by walking the just-set bits.
+	// Pass 2: encode each destination's fused segment (claim bitmap followed
+	// by the claimed slots' payloads, ascending) via the shared comm codec.
 	total := 0
 	for r := 0; r < p; r++ {
-		total += par.BitmapWords(h.recvSegs[r]) + perDest[r]*payloadWords
+		total += comm.MaskedSegmentWords(h.recvSegs[r], perDest[r], payloadWords)
 	}
 	if cap(e.valScratch) < total {
 		e.valScratch = make([]uint64, total)
@@ -398,16 +398,14 @@ func (e *frontierEngine) reverseValueExchange(ctx *core.Ctx, claims []uint32, pa
 	for r := 0; r < p; r++ {
 		nw := par.BitmapWords(h.recvSegs[r])
 		seg := bitWords[e.recvWordOffs[r] : e.recvWordOffs[r]+nw]
-		copy(send[off:off+nw], seg)
-		vals := send[off+nw:]
-		vi := 0
 		base := e.recvLidOff[r]
-		par.ForEachSetBit(seg, h.recvSegs[r], func(i int) {
-			fill(h.recvLids[base+i], vals[vi*payloadWords:(vi+1)*payloadWords])
-			vi++
-		})
-		counts[r] = nw + vi*payloadWords
-		off += counts[r]
+		n, err := comm.EncodeMaskedValues(send[off:], seg, h.recvSegs[r], payloadWords,
+			func(bit int, out []uint64) { fill(h.recvLids[base+bit], out) })
+		if err != nil {
+			return fmt.Errorf("analytics: dense value exchange to rank %d: %w", r, err)
+		}
+		counts[r] = n
+		off += n
 	}
 
 	recv, recvCounts, err := comm.AlltoallvInto(ctx.Comm, send, counts, e.valRecv, e.valRecvCounts)
@@ -416,33 +414,16 @@ func (e *frontierEngine) reverseValueExchange(ctx *core.Ctx, claims []uint32, pa
 	}
 	e.valRecv, e.valRecvCounts = recv, recvCounts
 
-	// Parse: each source's segment is words ++ payload aligned with this
-	// rank's sendVerts geometry.
+	// Parse: each source's segment is a fused bitmap+payload block aligned
+	// with this rank's sendVerts geometry; the codec validates the popcount
+	// arithmetic so a spliced or mode-mismatched segment fails loudly.
 	off = 0
 	for r := 0; r < p; r++ {
-		nbits := h.sendCounts[r]
-		nw := par.BitmapWords(nbits)
-		if recvCounts[r] < nw {
-			return fmt.Errorf("analytics: dense value exchange from rank %d has %d words, need at least %d bit words", r, recvCounts[r], nw)
-		}
-		seg := recv[off : off+nw]
-		nset := par.OnesCountWords(seg, nbits)
-		if recvCounts[r] != nw+nset*payloadWords {
-			return fmt.Errorf("analytics: dense value exchange from rank %d has %d words for %d claims", r, recvCounts[r], nset)
-		}
-		vals := recv[off+nw : off+recvCounts[r]]
 		base := e.sendVertOff[r]
-		vi := 0
-		var aerr error
-		par.ForEachSetBit(seg, nbits, func(i int) {
-			if aerr != nil {
-				return
-			}
-			aerr = arrive(h.sendVerts[base+i], vals[vi*payloadWords:(vi+1)*payloadWords])
-			vi++
-		})
-		if aerr != nil {
-			return aerr
+		err := comm.DecodeMaskedValues(recv[off:off+recvCounts[r]], h.sendCounts[r], payloadWords,
+			func(bit int, vals []uint64) error { return arrive(h.sendVerts[base+bit], vals) })
+		if err != nil {
+			return fmt.Errorf("analytics: dense value exchange from rank %d: %w", r, err)
 		}
 		off += recvCounts[r]
 	}

@@ -28,10 +28,15 @@ type Job struct {
 	Damping float64 `json:"damping,omitempty"`
 	// Tolerance is the PageRank early-stop threshold (0 = fixed count).
 	Tolerance float64 `json:"tolerance,omitempty"`
-	// MaxWeight selects SSSP edge weights: 0 means unit weights, else
-	// deterministic hash weights in [1, MaxWeight] seeded by WeightSeed.
+	// MaxWeight selects edge weights for weighted analytics (SSSP, weighted
+	// PageRank): 0 means unit weights, else deterministic hash weights in
+	// [1, MaxWeight] seeded by WeightSeed.
 	MaxWeight  uint64 `json:"max_weight,omitempty"`
 	WeightSeed uint64 `json:"weight_seed,omitempty"`
+	// Delta is the Δ-stepping bucket width for SSSP (0 = auto: the global
+	// mean edge weight). Like Hybrid, it changes schedule and wire format
+	// but never the answer.
+	Delta uint64 `json:"delta,omitempty"`
 	// RandomTies and TieSeed configure LabelProp tie-breaking.
 	RandomTies bool   `json:"random_ties,omitempty"`
 	TieSeed    uint64 `json:"tie_seed,omitempty"`
@@ -45,12 +50,14 @@ type Job struct {
 
 // Analytic names accepted by Job.Analytic.
 const (
-	JobBFS       = "bfs"
-	JobSSSP      = "sssp"
-	JobHarmonic  = "harmonic"
-	JobPageRank  = "pagerank"
-	JobLabelProp = "labelprop"
-	JobWCC       = "wcc"
+	JobBFS              = "bfs"
+	JobSSSP             = "sssp"
+	JobHarmonic         = "harmonic"
+	JobPageRank         = "pagerank"
+	JobPageRankWeighted = "wpagerank"
+	JobLabelProp        = "labelprop"
+	JobWCC              = "wcc"
+	JobKCore            = "kcore"
 )
 
 // SourceRooted reports whether the analytic takes query vertices (and is
@@ -83,7 +90,7 @@ func (j *Job) Normalize() {
 		if j.Dir == "" {
 			j.Dir = "out"
 		}
-	case JobPageRank:
+	case JobPageRank, JobPageRankWeighted:
 		if j.Iterations <= 0 {
 			j.Iterations = 10
 		}
@@ -116,11 +123,11 @@ func (j *Job) Validate(n uint32) error {
 				return fmt.Errorf("analytics: %s source %d outside %d vertices", j.Analytic, s, n)
 			}
 		}
-	case JobPageRank, JobLabelProp:
+	case JobPageRank, JobPageRankWeighted, JobLabelProp:
 		if j.Iterations < 0 || j.Iterations > maxJobIterations {
 			return fmt.Errorf("analytics: %s job with %d iterations (max %d)", j.Analytic, j.Iterations, maxJobIterations)
 		}
-	case JobWCC:
+	case JobWCC, JobKCore:
 	default:
 		return fmt.Errorf("analytics: unknown analytic %q", j.Analytic)
 	}
@@ -192,8 +199,10 @@ type JobResult struct {
 	// performed.
 	Iterations int `json:"iterations,omitempty"`
 	Rounds     int `json:"rounds,omitempty"`
-	// MaxScore is the global maximum PageRank score.
+	// MaxScore is the global maximum PageRank score (plain or weighted).
 	MaxScore float64 `json:"max_score,omitempty"`
+	// MaxCoreness is the global maximum exact coreness (the degeneracy).
+	MaxCoreness uint32 `json:"max_coreness,omitempty"`
 	// NumComponents and LargestSize describe WCC output.
 	NumComponents uint64 `json:"num_components,omitempty"`
 	LargestSize   uint64 `json:"largest_size,omitempty"`
@@ -257,7 +266,7 @@ func Run(ctx *core.Ctx, g *core.Graph, job *Job) (*JobResult, error) {
 		}
 	case JobSSSP:
 		if len(job.Sources) == 1 {
-			ss, err := SSSP(ctx, g, job.Sources[0], job.weights())
+			ss, err := SSSPDelta(ctx, g, job.Sources[0], job.weights(), job.Delta)
 			if err != nil {
 				return nil, err
 			}
@@ -301,6 +310,31 @@ func Run(ctx *core.Ctx, g *core.Graph, job *Job) (*JobResult, error) {
 		if err != nil {
 			return nil, err
 		}
+	case JobPageRankWeighted:
+		pr, err := PageRankWeighted(ctx, g, PageRankOptions{
+			Iterations: job.Iterations, Damping: job.Damping, Tolerance: job.Tolerance,
+		}, job.weights())
+		if err != nil {
+			return nil, err
+		}
+		res.Iterations = pr.Iterations
+		var localMax float64
+		for _, s := range pr.Scores {
+			if s > localMax {
+				localMax = s
+			}
+		}
+		res.MaxScore, err = comm.Allreduce(ctx.Comm, localMax, comm.OpMax)
+		if err != nil {
+			return nil, err
+		}
+	case JobKCore:
+		kc, err := KCoreExact(ctx, g)
+		if err != nil {
+			return nil, err
+		}
+		res.Rounds = kc.Rounds
+		res.MaxCoreness = kc.MaxCore
 	case JobLabelProp:
 		lp, err := LabelProp(ctx, g, LabelPropOptions{
 			Iterations: job.Iterations, RandomTies: job.RandomTies, TieSeed: job.TieSeed,

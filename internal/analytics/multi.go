@@ -358,6 +358,9 @@ type MultiSSSPResult struct {
 	Rounds int
 	// Reached[s] is the global number of vertices reachable from source s.
 	Reached []uint64
+	// Traversal records the batch's exchange counts and wire volume (always
+	// push-direction, sparse representation — see MultiSSSP's doc).
+	Traversal obs.TraversalStats
 }
 
 // MultiSSSP runs the queue-driven Bellman-Ford from every root
@@ -389,6 +392,8 @@ func MultiSSSP(ctx *core.Ctx, g *core.Graph, roots []uint32, w WeightFunc) (*Mul
 		}
 	}
 
+	eng := newFrontierEngine(ctx, g, nil)
+
 	p := ctx.Size()
 	counts := make([]uint64, p)
 	cur := make([]uint64, p)
@@ -408,6 +413,7 @@ func MultiSSSP(ctx *core.Ctx, g *core.Graph, roots []uint32, w WeightFunc) (*Mul
 			break
 		}
 		rounds++
+		eng.stats.PushSteps++
 		mark := tr.Now()
 		frontier := len(queue)
 		for s := range inQueue {
@@ -460,6 +466,7 @@ func MultiSSSP(ctx *core.Ctx, g *core.Graph, roots []uint32, w WeightFunc) (*Mul
 			msgDists = append(msgDists, msgDistPer[t]...)
 		}
 
+		eng.noteSparse(len(msgKeys), 16) // (gid, source) key + distance
 		for i := range counts {
 			counts[i] = 0
 		}
@@ -529,5 +536,5 @@ func MultiSSSP(ctx *core.Ctx, g *core.Graph, roots []uint32, w WeightFunc) (*Mul
 	if err != nil {
 		return nil, err
 	}
-	return &MultiSSSPResult{Dist: dist, Rounds: rounds, Reached: reached}, nil
+	return &MultiSSSPResult{Dist: dist, Rounds: rounds, Reached: reached, Traversal: eng.stats}, nil
 }

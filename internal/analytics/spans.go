@@ -26,6 +26,12 @@ const (
 	// SpanSSSPRound wraps one Bellman-Ford relaxation round; arg is the
 	// local queue size entering the round.
 	SpanSSSPRound = "sssp/round"
+	// SpanSSSPBucket wraps one settled Δ-stepping bucket (all its light
+	// sub-rounds plus the heavy phase); arg is the local settled count.
+	SpanSSSPBucket = "sssp/bucket"
+	// SpanKCorePeel wraps one settled bucket of the exact k-core peel; arg
+	// is the coreness value k being peeled.
+	SpanKCorePeel = "kcore/peel"
 	// SpanSCCTrimRound wraps one trim round of SCC preprocessing; arg is
 	// the local death count of the round.
 	SpanSCCTrimRound = "scc/trim-round"

@@ -11,11 +11,13 @@ import (
 )
 
 // Single-source shortest paths: the second Graph500 kernel the paper's
-// introduction frames its work against (BFS being the first). The
-// implementation is a queue-driven Bellman-Ford in the paper's BFS-like
-// class: rounds relax the out-edges of vertices whose distance improved,
-// ship cross-rank improvements as (vertex, distance) pairs with one
-// Alltoallv per round, and stop when no distance improves anywhere.
+// introduction frames its work against (BFS being the first). Two
+// implementations share this result type: SSSPRounds is a queue-driven
+// Bellman-Ford in the paper's BFS-like class (rounds relax the out-edges of
+// vertices whose distance improved and stop when nothing improves anywhere),
+// and SSSPDelta — the default behind SSSP — is Δ-stepping over the
+// distributed bucket structure (see deltasssp.go), which settles vertices in
+// near-distance order and therefore re-ships far fewer ghost improvements.
 //
 // The on-disk format carries no weights, so weights are synthesized
 // deterministically per (src, dst) pair (HashWeights) — every rank computes
@@ -49,18 +51,36 @@ type SSSPResult struct {
 	// Dist[v] is the shortest-path distance from the root to owned local
 	// vertex v, or InfDistance if unreachable.
 	Dist []uint64
-	// Rounds is the number of relaxation rounds executed.
+	// Rounds is the number of relaxation rounds executed (Bellman-Ford
+	// rounds, or Δ-stepping relaxation sub-rounds).
 	Rounds int
 	// Reached is the global number of reachable vertices (root included).
 	Reached uint64
+	// Delta is the bucket width the run used (0 for SSSPRounds).
+	Delta uint64
 	// Traversal records the engine's per-round representation choices and
 	// wire volume (SSSP rounds are always push-direction; only the claim
 	// representation adapts).
 	Traversal obs.TraversalStats
+	// Buckets records the bucket structure's work (zero for SSSPRounds).
+	Buckets obs.BucketStats
 }
 
 // SSSP computes shortest paths from the global vertex root along directed
-// edges under w.
+// edges under w. It is Δ-stepping with an automatically chosen Δ (the mean
+// edge weight); see SSSPDelta for a tunable Δ and SSSPRounds for the
+// round-based Bellman-Ford it replaced. All three produce bit-identical
+// distances: distances are the fixed point of monotone min relaxations,
+// independent of relaxation order.
+func SSSP(ctx *core.Ctx, g *core.Graph, root uint32, w WeightFunc) (*SSSPResult, error) {
+	return SSSPDelta(ctx, g, root, w, 0)
+}
+
+// SSSPRounds computes shortest paths from the global vertex root along
+// directed edges under w with the round-based Bellman-Ford: every vertex
+// whose distance improved is relaxed again next round, however far from
+// settled it is. Kept alongside SSSPDelta as the baseline the harness's
+// "delta" experiment measures against.
 //
 // Distances live over owned and ghost slots: a ghost slot caches the best
 // distance this rank has ever shipped for it, so each round forwards each
@@ -70,7 +90,7 @@ type SSSPResult struct {
 // aligned (gid, dist) streams or, when the round's global claim count
 // makes it cheaper, as the engine's fused dense exchange: one packed claim
 // bit per halo slot followed by the claimed distances in slot order.
-func SSSP(ctx *core.Ctx, g *core.Graph, root uint32, w WeightFunc) (*SSSPResult, error) {
+func SSSPRounds(ctx *core.Ctx, g *core.Graph, root uint32, w WeightFunc) (*SSSPResult, error) {
 	if root >= g.NGlobal {
 		return nil, fmt.Errorf("analytics: SSSP root %d outside %d vertices", root, g.NGlobal)
 	}

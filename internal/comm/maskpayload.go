@@ -1,0 +1,80 @@
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
+
+// Fused bitmap+payload codec: the wire format of the dense reverse value
+// exchange the bucket structure and the frontier engine share. One segment
+// per destination carries par.BitmapWords(nbits) claim-bit words followed
+// by payloadWords 64-bit words per set bit, payloads in ascending bit
+// order. Both sides derive every offset from the retained per-rank slot
+// counts and the segment's own popcount, so no lengths travel on the wire
+// beyond the transport's framing — and a spliced or mode-mismatched segment
+// is caught by the popcount arithmetic rather than silently misparsed.
+
+// MaskedSegmentWords returns the encoded word count of a segment covering
+// nbits slots with nset claims of payloadWords words each.
+func MaskedSegmentWords(nbits, nset, payloadWords int) int {
+	return par.BitmapWords(nbits) + nset*payloadWords
+}
+
+// EncodeMaskedValues lays one destination segment into dst: the claim
+// bitmap bits (its first par.BitmapWords(nbits) words; set bits beyond
+// nbits must be clear) followed by each set bit's payload in ascending bit
+// order, obtained from fill. It returns the words written.
+func EncodeMaskedValues(dst []uint64, bits []uint64, nbits, payloadWords int,
+	fill func(bit int, out []uint64)) (int, error) {
+	if nbits < 0 || payloadWords < 0 {
+		return 0, fmt.Errorf("comm: masked segment with nbits=%d payloadWords=%d", nbits, payloadWords)
+	}
+	nw := par.BitmapWords(nbits)
+	if len(bits) < nw {
+		return 0, fmt.Errorf("comm: masked segment bitmap has %d words, need %d for %d bits", len(bits), nw, nbits)
+	}
+	nset := par.OnesCountWords(bits[:nw], nbits)
+	total := nw + nset*payloadWords
+	if len(dst) < total {
+		return 0, fmt.Errorf("comm: masked segment staging has %d words, need %d", len(dst), total)
+	}
+	copy(dst[:nw], bits[:nw])
+	vals := dst[nw:total]
+	vi := 0
+	par.ForEachSetBit(bits[:nw], nbits, func(i int) {
+		fill(i, vals[vi*payloadWords:(vi+1)*payloadWords])
+		vi++
+	})
+	return total, nil
+}
+
+// DecodeMaskedValues parses one received segment covering nbits slots:
+// the word count must equal the bitmap prefix plus payloadWords words per
+// set bit exactly, and arrive is called once per set bit in ascending
+// order with its payload. An arrive error aborts the parse.
+func DecodeMaskedValues(seg []uint64, nbits, payloadWords int,
+	arrive func(bit int, vals []uint64) error) error {
+	if nbits < 0 || payloadWords < 0 {
+		return fmt.Errorf("comm: masked segment with nbits=%d payloadWords=%d", nbits, payloadWords)
+	}
+	nw := par.BitmapWords(nbits)
+	if len(seg) < nw {
+		return fmt.Errorf("comm: masked segment has %d words, need at least %d bit words", len(seg), nw)
+	}
+	nset := par.OnesCountWords(seg[:nw], nbits)
+	if len(seg) != nw+nset*payloadWords {
+		return fmt.Errorf("comm: masked segment has %d words for %d claims", len(seg), nset)
+	}
+	vals := seg[nw:]
+	vi := 0
+	var aerr error
+	par.ForEachSetBit(seg[:nw], nbits, func(i int) {
+		if aerr != nil {
+			return
+		}
+		aerr = arrive(i, vals[vi*payloadWords:(vi+1)*payloadWords])
+		vi++
+	})
+	return aerr
+}

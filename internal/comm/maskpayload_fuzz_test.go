@@ -1,0 +1,81 @@
+package comm
+
+import (
+	"testing"
+
+	"repro/internal/par"
+)
+
+// FuzzMaskedValueCodec drives the fused bitmap+payload codec with arbitrary
+// byte streams interpreted as (nbits, payload width, bit list): the encode
+// must round-trip the deduplicated claim set with every payload intact, and
+// arbitrary word streams fed to the decoder must either parse consistently
+// or be rejected — never panic, never misattribute a payload.
+func FuzzMaskedValueCodec(f *testing.F) {
+	f.Add(uint16(1), uint8(1), []byte{0})
+	f.Add(uint16(64), uint8(2), []byte{0, 63, 1})
+	f.Add(uint16(65), uint8(0), []byte{64, 64, 2})
+	f.Add(uint16(300), uint8(3), []byte{0, 1, 2, 255})
+	f.Fuzz(func(t *testing.T, nbitsRaw uint16, pwRaw uint8, raw []byte) {
+		nbits := int(nbitsRaw)%1000 + 1
+		pw := int(pwRaw) % 4
+		bits := make([]uint64, par.BitmapWords(nbits))
+		set := make(map[int]bool)
+		for i := 0; i+1 < len(raw); i += 2 {
+			idx := (int(raw[i])<<8 | int(raw[i+1])) % nbits
+			bits[idx>>6] |= 1 << (idx & 63)
+			set[idx] = true
+		}
+		payload := func(bit, w int) uint64 { return uint64(bit)*31 + uint64(w) + 7 }
+		seg := make([]uint64, MaskedSegmentWords(nbits, len(set), pw))
+		n, err := EncodeMaskedValues(seg, bits, nbits, pw, func(bit int, out []uint64) {
+			if !set[bit] {
+				t.Fatalf("nbits=%d: fill for unset bit %d", nbits, bit)
+			}
+			for w := range out {
+				out[w] = payload(bit, w)
+			}
+		})
+		if err != nil {
+			t.Fatalf("nbits=%d pw=%d: encode: %v", nbits, pw, err)
+		}
+		if n != MaskedSegmentWords(nbits, len(set), pw) {
+			t.Fatalf("nbits=%d pw=%d: encoded %d words, want %d", nbits, pw, n, MaskedSegmentWords(nbits, len(set), pw))
+		}
+		prev := -1
+		count := 0
+		err = DecodeMaskedValues(seg[:n], nbits, pw, func(bit int, vals []uint64) error {
+			if bit <= prev {
+				t.Fatalf("nbits=%d: bits not strictly ascending at %d", nbits, bit)
+			}
+			prev = bit
+			if !set[bit] {
+				t.Fatalf("nbits=%d: spurious bit %d", nbits, bit)
+			}
+			if len(vals) != pw {
+				t.Fatalf("nbits=%d: %d payload words, want %d", nbits, len(vals), pw)
+			}
+			for w, v := range vals {
+				if v != payload(bit, w) {
+					t.Fatalf("nbits=%d bit=%d word=%d: payload %#x, want %#x", nbits, bit, w, v, payload(bit, w))
+				}
+			}
+			count++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("nbits=%d pw=%d: decode: %v", nbits, pw, err)
+		}
+		if count != len(set) {
+			t.Fatalf("nbits=%d pw=%d: decoded %d claims, want %d", nbits, pw, count, len(set))
+		}
+		// Truncations must be rejected, not misparsed (with pw > 0 any strict
+		// prefix breaks the popcount arithmetic; pw == 0 keeps a shorter
+		// bitmap from parsing as an nbits-slot mask).
+		if n > 0 {
+			if err := DecodeMaskedValues(seg[:n-1], nbits, pw, func(int, []uint64) error { return nil }); err == nil && pw > 0 && len(set) > 0 {
+				t.Fatalf("nbits=%d pw=%d: truncated segment parsed", nbits, pw)
+			}
+		}
+	})
+}

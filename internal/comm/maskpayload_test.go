@@ -1,0 +1,95 @@
+package comm
+
+import (
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// TestMaskedValuesRoundTripProperty drives the fused bitmap+payload codec
+// with random masks and payload widths across word-boundary-hugging slot
+// counts: every encode must parse back to exactly the set bits and their
+// payloads, in ascending order.
+func TestMaskedValuesRoundTripProperty(t *testing.T) {
+	seed := uint64(0xB0C4E7)
+	for _, nbits := range []int{1, 2, 63, 64, 65, 127, 128, 129, 1000} {
+		for _, pw := range []int{0, 1, 2, 5} {
+			for trial := 0; trial < 8; trial++ {
+				bits := make([]uint64, par.BitmapWords(nbits))
+				var want []int
+				for i := 0; i < nbits; i++ {
+					seed = rng.Mix64(seed)
+					if seed&7 == 0 {
+						bits[i>>6] |= 1 << (i & 63)
+						want = append(want, i)
+					}
+				}
+				payload := func(bit, w int) uint64 {
+					return uint64(bit)<<16 ^ uint64(w) ^ 0xABCD
+				}
+				seg := make([]uint64, MaskedSegmentWords(nbits, len(want), pw))
+				n, err := EncodeMaskedValues(seg, bits, nbits, pw, func(bit int, out []uint64) {
+					for w := range out {
+						out[w] = payload(bit, w)
+					}
+				})
+				if err != nil {
+					t.Fatalf("nbits=%d pw=%d: encode: %v", nbits, pw, err)
+				}
+				if n != len(seg) {
+					t.Fatalf("nbits=%d pw=%d: encoded %d words, want %d", nbits, pw, n, len(seg))
+				}
+				var got []int
+				err = DecodeMaskedValues(seg[:n], nbits, pw, func(bit int, vals []uint64) error {
+					got = append(got, bit)
+					for w, v := range vals {
+						if v != payload(bit, w) {
+							t.Fatalf("nbits=%d pw=%d bit=%d word=%d: payload %#x, want %#x",
+								nbits, pw, bit, w, v, payload(bit, w))
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("nbits=%d pw=%d: decode: %v", nbits, pw, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("nbits=%d pw=%d: %d bits back, want %d", nbits, pw, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("nbits=%d pw=%d: bit %d decoded as %d", nbits, pw, want[i], got[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMaskedValuesRejectsMalformed pins the codec's protocol checks: short
+// staging, short segments, and popcount/length disagreements all fail
+// instead of misparsing.
+func TestMaskedValuesRejectsMalformed(t *testing.T) {
+	bits := []uint64{0b1011} // 3 claims in 8 slots
+	if _, err := EncodeMaskedValues(make([]uint64, 3), bits, 8, 1, func(int, []uint64) {}); err == nil {
+		t.Fatal("encode into short staging succeeded")
+	}
+	if _, err := EncodeMaskedValues(make([]uint64, 8), nil, 8, 1, func(int, []uint64) {}); err == nil {
+		t.Fatal("encode from short bitmap succeeded")
+	}
+	seg := make([]uint64, 4)
+	n, err := EncodeMaskedValues(seg, bits, 8, 1, func(bit int, out []uint64) { out[0] = uint64(bit) })
+	if err != nil || n != 4 {
+		t.Fatalf("encode: n=%d err=%v", n, err)
+	}
+	if err := DecodeMaskedValues(seg[:3], 8, 1, func(int, []uint64) error { return nil }); err == nil {
+		t.Fatal("truncated segment parsed")
+	}
+	if err := DecodeMaskedValues(append(seg, 0), 8, 1, func(int, []uint64) error { return nil }); err == nil {
+		t.Fatal("over-long segment parsed")
+	}
+	if err := DecodeMaskedValues(seg[:0], 8, 1, func(int, []uint64) error { return nil }); err == nil {
+		t.Fatal("empty segment parsed as 8-slot mask")
+	}
+}

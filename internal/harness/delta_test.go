@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDeltaReducesTraffic is the benchmark smoke pin CI runs: on the
+// harness RMAT graph, Δ-stepping with the auto bucket width must not ship
+// more bytes than the round-based baseline. Bellman-Ford-style rounds
+// re-ship a vertex's distance every time it improves; the bucket structure
+// settles vertices in near-distance order, so each crosses the wire O(1)
+// times — if the auto width ever loses on traffic here, the bucket
+// schedule has regressed.
+func TestDeltaReducesTraffic(t *testing.T) {
+	cfg := tinyConfig()
+	entries, err := DeltaRaw(cfg, 2, "wc-rmat", cfg.wcSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byVariant := make(map[string]DeltaEntry)
+	for _, e := range entries {
+		byVariant[e.Variant] = e
+	}
+	base, auto := byVariant["rounds"], byVariant["auto"]
+	if base.Rounds == 0 || auto.Buckets.Buckets == 0 {
+		t.Fatalf("degenerate run: baseline rounds %d, auto buckets %d", base.Rounds, auto.Buckets.Buckets)
+	}
+	if auto.Delta == 0 {
+		t.Fatalf("auto variant did not record its derived width")
+	}
+	if auto.SentMiB > base.SentMiB {
+		t.Fatalf("auto delta shipped %.3f MiB, round baseline %.3f MiB: Δ-stepping must not exceed the round-based SSSP on the RMAT graph",
+			auto.SentMiB, base.SentMiB)
+	}
+	t.Logf("sent MiB: rounds=%.3f auto(Δ=%d)=%.3f (saved %.1f%%)",
+		base.SentMiB, auto.Delta, auto.SentMiB, 100*(1-auto.SentMiB/base.SentMiB))
+}
+
+// TestDeltaBenchArtifact pins the BENCH_6.json plumbing: the experiment
+// writes a parseable document whose entries cover every (variant, ranks)
+// cell, all settling the same vertex count.
+func TestDeltaBenchArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full delta sweep")
+	}
+	cfg := tinyConfig()
+	cfg.Delta = 7 // exercises the fixed-width extra variant
+	cfg.BenchPath = filepath.Join(t.TempDir(), "BENCH_6.json")
+	rep, err := Delta(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(deltaRanks(cfg)) * 5 // rounds, delta=1, auto, 2xmean, delta=7
+	if len(rep.Rows) != wantRows {
+		t.Fatalf("%d rows, want %d", len(rep.Rows), wantRows)
+	}
+	data, err := os.ReadFile(cfg.BenchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b DeltaBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Experiment != "delta" || len(b.Entries) != wantRows {
+		t.Fatalf("artifact experiment %q with %d entries, want delta with %d", b.Experiment, len(b.Entries), wantRows)
+	}
+	reached := b.Entries[0].Reached
+	for _, e := range b.Entries {
+		if e.WallSecs <= 0 {
+			t.Fatalf("entry %s/%d has non-positive wall time", e.Variant, e.Ranks)
+		}
+		if e.Reached != reached {
+			t.Fatalf("entry %s/%d reached %d, want %d", e.Variant, e.Ranks, e.Reached, reached)
+		}
+		if e.Variant == "rounds" {
+			if e.Buckets.Buckets != 0 {
+				t.Fatalf("round baseline reports bucket stats: %+v", e.Buckets)
+			}
+		} else if e.Buckets.Extracted == 0 {
+			t.Fatalf("entry %s/%d extracted nothing", e.Variant, e.Ranks)
+		}
+	}
+}

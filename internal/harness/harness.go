@@ -46,9 +46,13 @@ type Config struct {
 	// with default thresholds. The hybrid experiment overrides the mode
 	// per measurement cell but keeps the thresholds.
 	Traverse core.Traversal
-	// BenchPath, when non-empty, makes the hybrid experiment write its
-	// measurements as machine-readable JSON (BENCH_5.json) to this path.
+	// BenchPath, when non-empty, makes the hybrid and delta experiments
+	// write their measurements as machine-readable JSON (BENCH_5.json /
+	// BENCH_6.json) to this path.
 	BenchPath string
+	// Delta, when non-zero, adds a fixed bucket-width variant to the delta
+	// experiment's Δ sweep (the sweep always runs Δ=1, auto, and 2·mean).
+	Delta uint64
 }
 
 // Default returns the laptop-scale configuration.

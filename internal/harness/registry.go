@@ -35,6 +35,7 @@ func Experiments() []Experiment {
 		{"endtoend", EndToEnd},
 		{"serve", Serve},
 		{"hybrid", Hybrid},
+		{"delta", Delta},
 	}
 }
 

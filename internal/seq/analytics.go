@@ -316,6 +316,92 @@ func CorenessUB(g *Graph, levels int) []uint32 {
 	return ub
 }
 
+// Coreness returns the exact coreness of every vertex under undirected
+// degree (loops counted twice, parallel edges with multiplicity): the
+// classic peel, always removing a vertex of minimum remaining degree, with
+// the coreness being the running maximum of the minimum degree at removal
+// time. Quadratic and obvious — a test oracle, not a production path.
+func Coreness(g *Graph) []uint32 {
+	deg := make([]int64, g.N)
+	alive := make([]bool, g.N)
+	core := make([]uint32, g.N)
+	for v := uint32(0); v < g.N; v++ {
+		deg[v] = int64(g.UndDeg(v))
+		alive[v] = true
+	}
+	k := int64(0)
+	for left := g.N; left > 0; left-- {
+		pick := uint32(0)
+		minDeg := int64(-1)
+		for v := uint32(0); v < g.N; v++ {
+			if alive[v] && (minDeg < 0 || deg[v] < minDeg) {
+				pick, minDeg = v, deg[v]
+			}
+		}
+		if minDeg > k {
+			k = minDeg
+		}
+		core[pick] = uint32(k)
+		alive[pick] = false
+		drop := func(u uint32) {
+			if alive[u] {
+				deg[u]--
+			}
+		}
+		for _, u := range g.OutN(pick) {
+			drop(u)
+		}
+		for _, u := range g.InN(pick) {
+			drop(u)
+		}
+	}
+	return core
+}
+
+// PageRankWeighted runs iters weighted power iterations: vertex u spreads
+// damping*pr[u]*w(u,v)/W(u) along each out-edge, W(u) being u's total
+// out-weight under w; vertices with W(u) == 0 are dangling and their mass
+// is redistributed uniformly. With uniform weights this reduces to
+// PageRank exactly.
+func PageRankWeighted(g *Graph, iters int, damping float64, w func(u, v uint32) uint64) []float64 {
+	n := float64(g.N)
+	outW := make([]float64, g.N)
+	for u := uint32(0); u < g.N; u++ {
+		var s uint64
+		for _, v := range g.OutN(u) {
+			s += w(u, v)
+		}
+		outW[u] = float64(s)
+	}
+	pr := make([]float64, g.N)
+	next := make([]float64, g.N)
+	for v := range pr {
+		pr[v] = 1 / n
+	}
+	for it := 0; it < iters; it++ {
+		dangling := 0.0
+		for v := uint32(0); v < g.N; v++ {
+			if outW[v] == 0 {
+				dangling += pr[v]
+			}
+		}
+		base := (1-damping)/n + damping*dangling/n
+		for v := range next {
+			next[v] = base
+		}
+		for u := uint32(0); u < g.N; u++ {
+			if outW[u] > 0 {
+				share := damping * pr[u] / outW[u]
+				for _, v := range g.OutN(u) {
+					next[v] += share * float64(w(u, v))
+				}
+			}
+		}
+		pr, next = next, pr
+	}
+	return pr
+}
+
 // largestAliveComponent marks the largest undirected component of the
 // alive-induced subgraph.
 func largestAliveComponent(g *Graph, alive []bool) []bool {

@@ -13,10 +13,11 @@ import (
 // (graph epoch, analytic, every parameter, sources). Two requests that
 // would produce byte-identical answers on the same resident graph map to
 // the same key; anything else (different epoch after a reload, different
-// weights, different direction) must not collide. Job.Hybrid is
-// deliberately absent: the traversal policy changes wire format and work
-// order but not the answer (pinned by the cross-mode equivalence suite),
-// so requests differing only in policy share a cached result.
+// weights, different direction) must not collide. Job.Hybrid and Job.Delta
+// are deliberately absent: the traversal policy and the Δ-stepping bucket
+// width change wire format and work order but not the answer (pinned by
+// the cross-mode and cross-Δ equivalence suites), so requests differing
+// only in those knobs share a cached result.
 func cacheKey(epoch uint64, j *analytics.Job) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "e%d|%s|d=%s|it=%d|dmp=%g|tol=%g|w=%d.%d|t=%v.%d|s=",

@@ -1,7 +1,8 @@
 // Package serve is the resident graph-query service: the comm ranks and
 // the ghost-relabelled distributed CSR are built once and stay resident,
-// and analytic queries (BFS/SSSP from a source, PageRank/Harmonic/
-// LabelProp/WCC over the whole graph) run against them as SPMD jobs —
+// and analytic queries (BFS/SSSP from a source, PageRank — plain or
+// weighted — Harmonic/LabelProp/WCC/exact k-core over the whole graph) run
+// against them as SPMD jobs —
 // load and partition once, answer many queries, the serving posture the
 // distributed-graph-systems surveys show one-shot jobs cannot reach.
 //

@@ -20,6 +20,10 @@ type ServerConfig struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout bounds client-supplied timeouts. <= 0 selects 5m.
 	MaxTimeout time.Duration
+	// DefaultDelta is the Δ-stepping bucket width applied to SSSP queries
+	// that do not pass delta themselves. 0 keeps per-run auto selection
+	// (the global mean edge weight).
+	DefaultDelta uint64
 }
 
 // withDefaults normalizes the zero values.
@@ -102,6 +106,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if q.Source != nil {
 		q.Job.Sources = append(q.Job.Sources, *q.Source)
+	}
+	if q.Job.Analytic == analytics.JobSSSP && q.Job.Delta == 0 {
+		q.Job.Delta = s.cfg.DefaultDelta
 	}
 	timeout := s.cfg.DefaultTimeout
 	if q.TimeoutMS > 0 {

@@ -475,6 +475,7 @@ func batchable(a, b *analytics.Job) bool {
 		b.WeightSeed == a.WeightSeed &&
 		b.RandomTies == a.RandomTies &&
 		b.TieSeed == a.TieSeed &&
+		b.Delta == a.Delta && // one batch runs under one bucket width
 		b.Hybrid == a.Hybrid // canonicalized by Normalize, so aliases compare equal
 }
 

@@ -298,6 +298,147 @@ func TestSchedulerAdmissionControl(t *testing.T) {
 	}
 }
 
+// ssspJob builds a normalized single-source SSSP descriptor with hash
+// weights and the given Δ-stepping bucket width.
+func ssspJob(src uint32, delta uint64) *analytics.Job {
+	j := &analytics.Job{
+		Analytic: analytics.JobSSSP, Sources: []uint32{src},
+		MaxWeight: 8, WeightSeed: 5, Delta: delta,
+	}
+	j.Normalize()
+	return j
+}
+
+// TestClusterRunsBucketAnalytics exercises the bucket-structure analytics
+// through the resident-cluster job path: exact k-core and weighted PageRank
+// dispatch like any other job, and SSSP answers are Δ-invariant end to end.
+func TestClusterRunsBucketAnalytics(t *testing.T) {
+	cl := newTestCluster(t, 3, nil)
+
+	kc := &analytics.Job{Analytic: analytics.JobKCore}
+	kc.Normalize()
+	kres, _, err := cl.Run(kc)
+	if err != nil {
+		t.Fatalf("kcore job: %v", err)
+	}
+	if kres.MaxCoreness == 0 || kres.Rounds == 0 {
+		t.Fatalf("kcore job result: %+v", kres)
+	}
+
+	wp := &analytics.Job{Analytic: analytics.JobPageRankWeighted, MaxWeight: 8, WeightSeed: 5}
+	wp.Normalize()
+	wres, _, err := cl.Run(wp)
+	if err != nil {
+		t.Fatalf("wpagerank job: %v", err)
+	}
+	if wres.MaxScore <= 0 || wres.Iterations == 0 {
+		t.Fatalf("wpagerank job result: %+v", wres)
+	}
+	// Weighted PageRank with unit weights is plain PageRank; different hash
+	// weights must move the scores, so the kind is genuinely weighted.
+	pp := &analytics.Job{Analytic: analytics.JobPageRank}
+	pp.Normalize()
+	pres, _, err := cl.Run(pp)
+	if err != nil {
+		t.Fatalf("pagerank job: %v", err)
+	}
+	if wres.MaxScore == pres.MaxScore {
+		t.Fatalf("weighted and unweighted PageRank share MaxScore %g", wres.MaxScore)
+	}
+
+	// Δ changes schedule only: the per-source answers are identical.
+	r1, _, err := cl.Run(ssspJob(3, 1))
+	if err != nil {
+		t.Fatalf("sssp delta=1: %v", err)
+	}
+	r2, _, err := cl.Run(ssspJob(3, 1<<40))
+	if err != nil {
+		t.Fatalf("sssp delta=huge: %v", err)
+	}
+	if r1.Sources[0] != r2.Sources[0] {
+		t.Fatalf("SSSP answer depends on delta: %+v vs %+v", r1.Sources[0], r2.Sources[0])
+	}
+}
+
+// TestSchedulerDeltaSharesCacheEntry pins the cacheKey exemption: two SSSP
+// queries differing only in the Δ bucket width produce byte-identical
+// answers, so the second is a cache hit and runs no SPMD job.
+func TestSchedulerDeltaSharesCacheEntry(t *testing.T) {
+	cl := newTestCluster(t, 2, nil)
+	s := NewScheduler(cl, SchedConfig{QueueCap: 16, BatchMax: 1, CacheCap: 32})
+	defer s.Close()
+	s.Start()
+
+	deadline := time.Now().Add(30 * time.Second)
+	id1, err := s.Submit(ssspJob(7, 1), deadline)
+	if err != nil {
+		t.Fatalf("submit delta=1: %v", err)
+	}
+	v1 := waitDone(t, s, id1)
+	if v1.State != StateDone || v1.Cached {
+		t.Fatalf("first query: state %s cached %v", v1.State, v1.Cached)
+	}
+	jobs := cl.JobsRun()
+
+	id2, err := s.Submit(ssspJob(7, 1000), deadline)
+	if err != nil {
+		t.Fatalf("submit delta=1000: %v", err)
+	}
+	v2 := waitDone(t, s, id2)
+	if v2.State != StateDone || !v2.Cached {
+		t.Fatalf("cross-delta repeat: state %s cached %v", v2.State, v2.Cached)
+	}
+	if cl.JobsRun() != jobs {
+		t.Fatalf("cross-delta cache hit ran a new SPMD job (%d -> %d)", jobs, cl.JobsRun())
+	}
+	if v2.Result.Sources[0] != v1.Result.Sources[0] {
+		t.Fatalf("cached answer differs: %+v vs %+v", v2.Result.Sources[0], v1.Result.Sources[0])
+	}
+
+	// A different weighting must still miss: only schedule knobs are exempt.
+	j3 := ssspJob(7, 1)
+	j3.WeightSeed = 6
+	id3, err := s.Submit(j3, deadline)
+	if err != nil {
+		t.Fatalf("variant submit: %v", err)
+	}
+	if v3 := waitDone(t, s, id3); v3.Cached {
+		t.Fatalf("different weight seed answered from cache")
+	}
+}
+
+// TestSchedulerDeltaDoesNotBatch checks the batch-compatibility rule: two
+// single-source SSSP queries with different Δ widths stay separate jobs (a
+// batch runs under one bucket width), while equal widths still coalesce.
+func TestSchedulerDeltaDoesNotBatch(t *testing.T) {
+	cl := newTestCluster(t, 2, nil)
+	s := NewScheduler(cl, SchedConfig{QueueCap: 16, BatchMax: 8, CacheCap: 0})
+	defer s.Close()
+
+	deadline := time.Now().Add(30 * time.Second)
+	id1, err1 := s.Submit(ssspJob(1, 1), deadline)
+	id2, err2 := s.Submit(ssspJob(2, 64), deadline)
+	id3, err3 := s.Submit(ssspJob(3, 1), deadline)
+	if err1 != nil || err2 != nil || err3 != nil {
+		t.Fatalf("submits: %v %v %v", err1, err2, err3)
+	}
+	s.Start()
+
+	v1, v2, v3 := waitDone(t, s, id1), waitDone(t, s, id2), waitDone(t, s, id3)
+	if v1.State != StateDone || v2.State != StateDone || v3.State != StateDone {
+		t.Fatalf("states: %s %s %s", v1.State, v2.State, v3.State)
+	}
+	if v1.Batch != 2 || v3.Batch != 2 {
+		t.Fatalf("equal-delta queries batch = %d, %d; want 2, 2", v1.Batch, v3.Batch)
+	}
+	if v2.Batch != 1 {
+		t.Fatalf("different delta batched: batch = %d", v2.Batch)
+	}
+	if got := cl.JobsRun(); got != 2 {
+		t.Fatalf("ran %d SPMD jobs, want 2 (delta=1 pair + delta=64)", got)
+	}
+}
+
 // TestSchedulerDeadlineExpiresBeforeDispatch checks an already-expired
 // queued request is failed as expired without consuming cluster time.
 func TestSchedulerDeadlineExpiresBeforeDispatch(t *testing.T) {

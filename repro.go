@@ -539,6 +539,35 @@ func (g *Graph) KCore(levels int) ([]uint32, error) {
 	})
 }
 
+// KCoreExact runs the exact k-core peel over the bucket structure and
+// returns global coreness values (not upper bounds — see KCore for the
+// cheaper approximation).
+func (g *Graph) KCoreExact() ([]uint32, error) {
+	return gatherResult(g, func(ctx *core.Ctx, shard *core.Graph) ([]uint32, error) {
+		res, err := analytics.KCoreExact(ctx, shard)
+		if err != nil {
+			return nil, err
+		}
+		return res.Coreness, nil
+	})
+}
+
+// PageRankWeighted returns the global PageRank vector with edge mass
+// distributed proportionally to w instead of uniformly (nil selects unit
+// weights, which reproduces PageRank bit-for-bit).
+func (g *Graph) PageRankWeighted(opts PageRankOptions, w WeightFunc) ([]float64, error) {
+	if w == nil {
+		w = analytics.UnitWeights
+	}
+	return gatherResult(g, func(ctx *core.Ctx, shard *core.Graph) ([]float64, error) {
+		res, err := analytics.PageRankWeighted(ctx, shard, opts, w)
+		if err != nil {
+			return nil, err
+		}
+		return res.Scores, nil
+	})
+}
+
 // SSSPInf marks unreachable vertices in SSSP results.
 const SSSPInf = analytics.InfDistance
 
@@ -558,6 +587,22 @@ func (g *Graph) SSSP(root uint32, w WeightFunc) ([]uint64, error) {
 	}
 	return gatherResult(g, func(ctx *core.Ctx, shard *core.Graph) ([]uint64, error) {
 		res, err := analytics.SSSP(ctx, shard, root, w)
+		if err != nil {
+			return nil, err
+		}
+		return res.Dist, nil
+	})
+}
+
+// SSSPDelta is SSSP with an explicit Δ-stepping bucket width (0 picks the
+// mean-edge-weight heuristic, exactly what SSSP does). Distances are
+// identical for every delta; only the schedule changes.
+func (g *Graph) SSSPDelta(root uint32, w WeightFunc, delta uint64) ([]uint64, error) {
+	if w == nil {
+		w = analytics.UnitWeights
+	}
+	return gatherResult(g, func(ctx *core.Ctx, shard *core.Graph) ([]uint64, error) {
+		res, err := analytics.SSSPDelta(ctx, shard, root, w, delta)
 		if err != nil {
 			return nil, err
 		}

@@ -296,3 +296,72 @@ func TestPublicSSSP(t *testing.T) {
 		t.Fatalf("hashed SSSP from sink: %v", dh)
 	}
 }
+
+func TestPublicBucketAnalytics(t *testing.T) {
+	c := testCluster(t)
+	pairs := []uint32{0, 1, 1, 2, 2, 0, 2, 3, 3, 4, 4, 5, 5, 3, 0, 4}
+	g, err := c.FromEdges(6, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Explicit Δ must not change distances, only the schedule.
+	w := HashWeights(9, 16)
+	dAuto, err := g.SSSP(0, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, delta := range []uint64{1, 4, 1 << 40} {
+		d, err := g.SSSPDelta(0, w, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range dAuto {
+			if d[v] != dAuto[v] {
+				t.Fatalf("SSSPDelta(Δ=%d)[%d] = %d, want %d", delta, v, d[v], dAuto[v])
+			}
+		}
+	}
+
+	ref := seq.FromEdges(6, pairs)
+	kc, err := g.KCoreExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKC := seq.Coreness(ref)
+	for v := range wantKC {
+		if kc[v] != wantKC[v] {
+			t.Fatalf("KCoreExact[%d] = %d, want %d", v, kc[v], wantKC[v])
+		}
+	}
+
+	// Unit weights reproduce the plain PageRank bit-for-bit.
+	opts := PageRankOptions{Iterations: 8, Damping: 0.85}
+	plain, err := g.PageRank(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, err := g.PageRankWeighted(opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range plain {
+		if unit[v] != plain[v] {
+			t.Fatalf("unit-weight PageRankWeighted[%d] = %v, want %v", v, unit[v], plain[v])
+		}
+	}
+	wpr, err := g.PageRankWeighted(opts, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for v := range plain {
+		if wpr[v] != plain[v] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("hashed weights left every PageRank score unchanged")
+	}
+}
