@@ -15,6 +15,10 @@
 // Requests are admitted through a bounded queue (429 when full), run one
 // SPMD job at a time, coalesce pending same-analytic single-source queries
 // into one multi-source run, and answer repeats from an LRU result cache.
+//
+// With -replicas k > 1 every shard is held by k hosts; if a host dies the
+// cluster re-forms over the survivors and replays in-flight queries
+// (POST /v1/admin/kill drills this live).
 package main
 
 import (
@@ -38,13 +42,14 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
-		ranks   = flag.Int("ranks", 4, "resident in-process rank count")
-		threads = flag.Int("threads", 0, "worker threads per rank (0 = NumCPU)")
-		file    = flag.String("file", "", "binary edge file to load")
-		rmat    = flag.String("rmat", "", "synthetic input: n,m,seed (R-MAT)")
-		part    = flag.String("part", "rand", "partitioning: np, mp, rand")
-		seed    = flag.Uint64("seed", 0xFACE, "partitioner seed")
+		addr     = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		ranks    = flag.Int("ranks", 4, "resident in-process rank count")
+		threads  = flag.Int("threads", 0, "worker threads per rank (0 = NumCPU)")
+		file     = flag.String("file", "", "binary edge file to load")
+		rmat     = flag.String("rmat", "", "synthetic input: n,m,seed (R-MAT)")
+		part     = flag.String("part", "rand", "partitioning: np, mp, rand")
+		seed     = flag.Uint64("seed", 0xFACE, "partitioner seed")
+		replicas = flag.Int("replicas", 1, "hosts holding each shard (k>1 survives rank loss via failover)")
 
 		queueCap = flag.Int("queue-cap", 64, "admission queue bound (beyond it requests get 429)")
 		batchMax = flag.Int("batch-max", 8, "max single-source queries coalesced into one multi-source run (1 = no batching)")
@@ -101,12 +106,13 @@ func main() {
 		Partition: kind,
 		Seed:      *seed,
 		Epoch:     1,
+		Replicas:  *replicas,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "graphd: resident graph ready: n=%d m=%d (built in %.3fs)\n",
-		cl.NumVertices(), cl.NumEdges(), cl.BuildTime().Seconds())
+	fmt.Fprintf(os.Stderr, "graphd: resident graph ready: n=%d m=%d replicas=%d (built in %.3fs)\n",
+		cl.NumVertices(), cl.NumEdges(), cl.Replicas(), cl.BuildTime().Seconds())
 
 	sched := serve.NewScheduler(cl, serve.SchedConfig{
 		QueueCap: *queueCap,

@@ -226,6 +226,20 @@ func (r *JobResult) ForSource(s uint32) *JobResult {
 	return nil
 }
 
+// Canonical returns the result's canonical byte encoding: the JSON form
+// with the struct's fixed field order. Two results are the same answer iff
+// their canonical bytes are equal — the equality the failover chaos
+// battery asserts between a degraded cluster's answers and the healthy
+// baseline.
+func (r *JobResult) Canonical() []byte {
+	b, err := json.Marshal(r)
+	if err != nil {
+		// A flat struct of scalars and slices cannot fail to marshal.
+		panic(fmt.Sprintf("analytics: canonical encoding: %v", err))
+	}
+	return b
+}
+
 // Run dispatches a validated descriptor to its kernel. Must be called
 // collectively: every rank passes an identical job, and every rank returns
 // the identical global summary.

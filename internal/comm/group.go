@@ -35,6 +35,16 @@ type aborter interface{ Abort() }
 // instead of deadlocking; the reported error carries the originating rank's
 // failure alongside the aborted siblings.
 func RunOn(comms []*Comm, fn func(c *Comm) error) error {
+	return joinErrors(RunOnAll(comms, fn))
+}
+
+// RunOnAll is RunOn returning the per-rank errors instead of a joined
+// message: slot i's entry is nil when rank i returned cleanly. Callers
+// that must attribute a group failure to a specific rank (the serve
+// layer's failover path inspects each slot's *CommError through
+// errors.As) need the structured slice; RunOn's flat string is for
+// one-shot jobs that only report.
+func RunOnAll(comms []*Comm, fn func(c *Comm) error) []error {
 	errs := make([]error, len(comms))
 	var wg sync.WaitGroup
 	wg.Add(len(comms))
@@ -55,7 +65,7 @@ func RunOn(comms []*Comm, fn func(c *Comm) error) error {
 		}(r)
 	}
 	wg.Wait()
-	return joinErrors(errs)
+	return errs
 }
 
 func joinErrors(errs []error) error {

@@ -1,0 +1,153 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Membership is the compute-group view the serve layer's failover machinery
+// broadcasts as round one of every group generation: which host serves each
+// compute slot (slot = shard index; the group size never shrinks, a host
+// can serve several slots), and which hosts are known dead. Every slot
+// decodes and validates the same frame before any job traffic flows, so a
+// re-formed group provably shares one view — the distributed-store
+// equivalent of a replicator's ring epoch.
+type Membership struct {
+	// Epoch is the group generation (0 = the initial build).
+	Epoch uint64
+	// Slots maps compute slot -> serving host.
+	Slots []int32
+	// Dead lists the hosts excluded from this generation, in strictly
+	// ascending order.
+	Dead []int32
+}
+
+const membershipMagic = 0x4D425231 // "MBR1"
+
+// Encode serializes the view as a little-endian frame.
+func (m *Membership) Encode() []byte {
+	buf := make([]byte, 0, 4+8+4+4*len(m.Slots)+4+4*len(m.Dead))
+	buf = binary.LittleEndian.AppendUint32(buf, membershipMagic)
+	buf = binary.LittleEndian.AppendUint64(buf, m.Epoch)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Slots)))
+	for _, h := range m.Slots {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(h))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Dead)))
+	for _, h := range m.Dead {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(h))
+	}
+	return buf
+}
+
+// maxMembershipHosts bounds the decoded host count; far above any real
+// group, low enough that a corrupt length field cannot drive a huge
+// allocation.
+const maxMembershipHosts = 1 << 20
+
+// DecodeMembership parses and validates an encoded view. Every structural
+// invariant the failover path relies on is checked here: slot assignments
+// in range, no slot served by a dead host, dead list strictly ascending
+// and in range, no trailing bytes.
+func DecodeMembership(b []byte) (*Membership, error) {
+	off := 0
+	u32 := func() (uint32, error) {
+		if off+4 > len(b) {
+			return 0, fmt.Errorf("comm: membership frame truncated at byte %d", off)
+		}
+		v := binary.LittleEndian.Uint32(b[off:])
+		off += 4
+		return v, nil
+	}
+	magic, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != membershipMagic {
+		return nil, fmt.Errorf("comm: membership magic %#x, want %#x", magic, membershipMagic)
+	}
+	if off+8 > len(b) {
+		return nil, fmt.Errorf("comm: membership frame truncated at byte %d", off)
+	}
+	m := &Membership{Epoch: binary.LittleEndian.Uint64(b[off:])}
+	off += 8
+	nslots, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if nslots == 0 || nslots > maxMembershipHosts {
+		return nil, fmt.Errorf("comm: membership slot count %d outside [1, %d]", nslots, maxMembershipHosts)
+	}
+	if uint64(off)+4*uint64(nslots) > uint64(len(b)) {
+		return nil, fmt.Errorf("comm: membership frame truncated: %d slots do not fit", nslots)
+	}
+	m.Slots = make([]int32, nslots)
+	for i := range m.Slots {
+		v, _ := u32()
+		m.Slots[i] = int32(v)
+	}
+	ndead, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if ndead > maxMembershipHosts {
+		return nil, fmt.Errorf("comm: membership dead count %d over limit", ndead)
+	}
+	if uint64(off)+4*uint64(ndead) > uint64(len(b)) {
+		return nil, fmt.Errorf("comm: membership frame truncated: %d dead entries do not fit", ndead)
+	}
+	m.Dead = make([]int32, ndead)
+	for i := range m.Dead {
+		v, _ := u32()
+		m.Dead[i] = int32(v)
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("comm: membership frame has %d trailing bytes", len(b)-off)
+	}
+	dead := make(map[int32]bool, ndead)
+	for i, h := range m.Dead {
+		if h < 0 {
+			return nil, fmt.Errorf("comm: membership dead host %d negative", h)
+		}
+		if i > 0 && m.Dead[i-1] >= h {
+			return nil, fmt.Errorf("comm: membership dead list not strictly ascending at index %d", i)
+		}
+		dead[h] = true
+	}
+	for s, h := range m.Slots {
+		if h < 0 {
+			return nil, fmt.Errorf("comm: membership slot %d has negative host %d", s, h)
+		}
+		if dead[h] {
+			return nil, fmt.Errorf("comm: membership slot %d served by dead host %d", s, h)
+		}
+	}
+	return m, nil
+}
+
+// Collocated returns how many slots host h serves under this view (the
+// serve layer splits a host's worker threads across its slots).
+func (m *Membership) Collocated(h int32) int {
+	n := 0
+	for _, s := range m.Slots {
+		if s == h {
+			n++
+		}
+	}
+	return n
+}
+
+// AliveHosts returns the distinct serving hosts in ascending order.
+func (m *Membership) AliveHosts() []int32 {
+	seen := make(map[int32]bool, len(m.Slots))
+	var out []int32
+	for _, h := range m.Slots {
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

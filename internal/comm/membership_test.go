@@ -1,0 +1,119 @@
+package comm
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestMembershipRoundTrip property-checks Encode/Decode over random valid
+// views: decode(encode(m)) must reproduce m exactly.
+func TestMembershipRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		hosts := 1 + rng.Intn(12)
+		slots := 1 + rng.Intn(16)
+		m := &Membership{Epoch: rng.Uint64(), Slots: make([]int32, slots)}
+		// Mark a random strict subset of hosts dead, keep the rest alive.
+		alive := make([]int32, 0, hosts)
+		for h := 0; h < hosts; h++ {
+			if rng.Intn(3) == 0 && hosts-len(m.Dead) > 1 {
+				m.Dead = append(m.Dead, int32(h))
+			} else {
+				alive = append(alive, int32(h))
+			}
+		}
+		for s := range m.Slots {
+			m.Slots[s] = alive[rng.Intn(len(alive))]
+		}
+		got, err := DecodeMembership(m.Encode())
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if got.Epoch != m.Epoch || !reflect.DeepEqual(got.Slots, m.Slots) {
+			t.Fatalf("trial %d: round trip mismatch: %+v vs %+v", trial, got, m)
+		}
+		if len(got.Dead) != len(m.Dead) || (len(m.Dead) > 0 && !reflect.DeepEqual(got.Dead, m.Dead)) {
+			t.Fatalf("trial %d: dead list mismatch: %v vs %v", trial, got.Dead, m.Dead)
+		}
+	}
+}
+
+// TestMembershipDecodeRejects pins the validation failures one by one.
+func TestMembershipDecodeRejects(t *testing.T) {
+	valid := &Membership{Epoch: 3, Slots: []int32{0, 1, 0, 1}, Dead: []int32{2, 3}}
+	cases := []struct {
+		name    string
+		mutate  func(b []byte) []byte
+		wantSub string
+	}{
+		{"empty", func(b []byte) []byte { return nil }, "truncated"},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, "magic"},
+		{"truncated slots", func(b []byte) []byte { return b[:18] }, "truncated"},
+		{"trailing bytes", func(b []byte) []byte { return append(b, 0xAA) }, "trailing"},
+		{"zero slots", func(b []byte) []byte {
+			m := &Membership{Epoch: 1}
+			return m.Encode()
+		}, "slot count"},
+		{"slot on dead host", func(b []byte) []byte {
+			m := &Membership{Epoch: 1, Slots: []int32{2}, Dead: []int32{2}}
+			return m.Encode()
+		}, "dead host"},
+		{"dead not ascending", func(b []byte) []byte {
+			m := &Membership{Epoch: 1, Slots: []int32{0}, Dead: []int32{3, 3}}
+			return m.Encode()
+		}, "ascending"},
+		{"negative slot", func(b []byte) []byte {
+			m := &Membership{Epoch: 1, Slots: []int32{-1}}
+			return m.Encode()
+		}, "negative"},
+	}
+	for _, tc := range cases {
+		b := tc.mutate(valid.Encode())
+		_, err := DecodeMembership(b)
+		if err == nil {
+			t.Fatalf("%s: decode accepted invalid frame", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Fatalf("%s: error %q missing %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+// TestMembershipHelpers pins Collocated and AliveHosts on a degraded view.
+func TestMembershipHelpers(t *testing.T) {
+	m := &Membership{Epoch: 2, Slots: []int32{2, 3, 2, 3}, Dead: []int32{0, 1}}
+	if got := m.Collocated(2); got != 2 {
+		t.Fatalf("Collocated(2) = %d, want 2", got)
+	}
+	if got := m.Collocated(0); got != 0 {
+		t.Fatalf("Collocated(0) = %d, want 0", got)
+	}
+	if got := m.AliveHosts(); !reflect.DeepEqual(got, []int32{2, 3}) {
+		t.Fatalf("AliveHosts = %v, want [2 3]", got)
+	}
+}
+
+// FuzzMembershipDecode drives the codec with arbitrary bytes: it must
+// never panic, and anything it accepts must re-encode and re-decode to an
+// equal view (decode/encode/decode fixpoint).
+func FuzzMembershipDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&Membership{Epoch: 1, Slots: []int32{0}}).Encode())
+	f.Add((&Membership{Epoch: 7, Slots: []int32{1, 1, 3, 3}, Dead: []int32{0, 2}}).Encode())
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := DecodeMembership(b)
+		if err != nil {
+			return
+		}
+		again, err := DecodeMembership(m.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of accepted view failed: %v", err)
+		}
+		if again.Epoch != m.Epoch || !reflect.DeepEqual(again.Slots, m.Slots) ||
+			((len(again.Dead) > 0 || len(m.Dead) > 0) && !reflect.DeepEqual(again.Dead, m.Dead)) {
+			t.Fatalf("decode/encode/decode not a fixpoint: %+v vs %+v", again, m)
+		}
+	})
+}

@@ -304,7 +304,7 @@ func (t *TCPTransport) exchange(out [][]byte, reuse bool) ([][]byte, time.Durati
 				_ = conn.SetWriteDeadline(time.Now().Add(t.frameDeadline))
 			}
 			if err := writeFrame(conn, seq, out[peer]); err != nil {
-				fail(fmt.Errorf("comm: rank %d send to %d: %w", t.rank, peer, err))
+				fail(t.peerErr(peer, fmt.Errorf("send to %d: %w", peer, err)))
 			}
 		}(peer)
 
@@ -320,11 +320,12 @@ func (t *TCPTransport) exchange(out [][]byte, reuse bool) ([][]byte, time.Durati
 			}
 			payload, gotSeq, err := readFrame(conn, buf)
 			if err != nil {
-				fail(fmt.Errorf("comm: rank %d recv from %d: %w", t.rank, peer, err))
+				fail(t.peerErr(peer, fmt.Errorf("recv from %d: %w", peer, err)))
 				return
 			}
 			if gotSeq != seq {
-				fail(fmt.Errorf("comm: rank %d recv from %d: sequence %d, want %d", t.rank, peer, gotSeq, seq))
+				fail(&CommError{Rank: t.rank, Peer: peer, Kind: KindCorrupt, Attempt: 1,
+					Err: fmt.Errorf("recv from %d: sequence %d, want %d", peer, gotSeq, seq)})
 				return
 			}
 			if reuse {
@@ -351,6 +352,15 @@ func (t *TCPTransport) exchange(out [][]byte, reuse bool) ([][]byte, time.Durati
 		wait = 0
 	}
 	return in, wait, nil
+}
+
+// peerErr promotes a per-peer exchange failure to a peer-attributed
+// *CommError. Comm.wrapErr leaves an existing CommError intact, so the
+// implicated peer survives to the collective's caller — the serve layer's
+// failover attribution majority-votes over these Peer fields to decide
+// which host died.
+func (t *TCPTransport) peerErr(peer int, err error) error {
+	return &CommError{Rank: t.rank, Peer: peer, Kind: Classify(err), Attempt: 1, Err: err}
 }
 
 func writeFrame(conn net.Conn, seq uint64, payload []byte) error {

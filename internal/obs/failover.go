@@ -1,0 +1,44 @@
+package obs
+
+import "sync/atomic"
+
+// FailoverCounters meters the serve layer's replica-failover machinery:
+// how many times the compute group was re-formed, how many hosts were
+// declared dead, how many compute slots moved to a backup replica, and how
+// many queued jobs were replayed after a group death. All fields are
+// atomics so the supervisor, the scheduler, and /v1/stats can touch them
+// without shared locks.
+type FailoverCounters struct {
+	// Failovers counts group re-formations survived (generation bumps
+	// caused by a failure, not the initial build).
+	Failovers atomic.Uint64
+	// HostsLost counts hosts declared dead and excluded from the group.
+	HostsLost atomic.Uint64
+	// SlotsPromoted counts compute slots that moved from a dead host to a
+	// surviving backup replica.
+	SlotsPromoted atomic.Uint64
+	// JobsRequeued counts scheduler requests replayed because their SPMD
+	// job died with the group.
+	JobsRequeued atomic.Uint64
+}
+
+// FailoverSnapshot is the JSON-friendly counter snapshot for /v1/stats.
+type FailoverSnapshot struct {
+	Failovers     uint64 `json:"failovers"`
+	HostsLost     uint64 `json:"hosts_lost"`
+	SlotsPromoted uint64 `json:"slots_promoted"`
+	JobsRequeued  uint64 `json:"jobs_requeued"`
+}
+
+// Snapshot reads the counters; nil-safe (a nil receiver reads as zero).
+func (c *FailoverCounters) Snapshot() FailoverSnapshot {
+	if c == nil {
+		return FailoverSnapshot{}
+	}
+	return FailoverSnapshot{
+		Failovers:     c.Failovers.Load(),
+		HostsLost:     c.HostsLost.Load(),
+		SlotsPromoted: c.SlotsPromoted.Load(),
+		JobsRequeued:  c.JobsRequeued.Load(),
+	}
+}

@@ -1,0 +1,86 @@
+package partition
+
+import "fmt"
+
+// Replica placement: which ranks hold a copy of each shard.
+//
+// The serve layer replicates every partition (shard) on k ranks so that a
+// resident cluster survives rank loss: the first live rank in a shard's
+// replica list serves it, the rest hold warm copies. Placement is pure
+// arithmetic — no state, nothing to repair-plan against — modeled on the
+// round-robin partition placement of object-store replicators, but with
+// offsets chosen so the load guarantee is provable:
+//
+//	replica j of shard s lives on rank (s + off(j)) mod R,
+//	off(j) = floor(j*R/k)
+//
+// The offsets are distinct for j < k <= R, so the k replicas of a shard
+// land on k distinct ranks. The offset sequence is a balanced (Sturmian)
+// selection of k residues out of R: any contiguous residue window of
+// length L contains between floor(L*k/R) and ceil(L*k/R) offsets, which is
+// what bounds every rank's replica load within ±1 of perfect balance (the
+// property test brute-forces this over a wide grid). off(0) = 0 keeps the
+// primary assignment the identity s mod R, so a placement with k = 1 is
+// exactly the unreplicated cluster layout.
+type Placement struct {
+	shards   int
+	ranks    int
+	replicas int
+	offsets  []int
+}
+
+// NewPlacement builds the replica placement for shards shards over ranks
+// ranks with replication factor k (1 = no replication). k must lie in
+// [1, ranks]: more replicas than ranks cannot be distinct.
+func NewPlacement(shards, ranks, k int) (*Placement, error) {
+	if shards <= 0 || ranks <= 0 {
+		return nil, fmt.Errorf("partition: placement needs positive shards and ranks, got %d/%d", shards, ranks)
+	}
+	if k < 1 || k > ranks {
+		return nil, fmt.Errorf("partition: replication factor %d outside [1, %d ranks]", k, ranks)
+	}
+	p := &Placement{shards: shards, ranks: ranks, replicas: k, offsets: make([]int, k)}
+	for j := 0; j < k; j++ {
+		p.offsets[j] = j * ranks / k
+	}
+	return p, nil
+}
+
+// Shards, Ranks, and Replicas report the placement's shape.
+func (p *Placement) Shards() int   { return p.shards }
+func (p *Placement) Ranks() int    { return p.ranks }
+func (p *Placement) Replicas() int { return p.replicas }
+
+// Primary returns the rank serving shard s when every rank is alive.
+func (p *Placement) Primary(s int) int { return s % p.ranks }
+
+// ReplicaRanks returns the ranks holding shard s, primary first, backups
+// in promotion order. The slice is freshly allocated.
+func (p *Placement) ReplicaRanks(s int) []int {
+	out := make([]int, p.replicas)
+	for j, off := range p.offsets {
+		out[j] = (s + off) % p.ranks
+	}
+	return out
+}
+
+// HostsShard reports whether rank r holds a replica of shard s.
+func (p *Placement) HostsShard(r, s int) bool {
+	for _, off := range p.offsets {
+		if (s+off)%p.ranks == r {
+			return true
+		}
+	}
+	return false
+}
+
+// Load returns how many shard replicas each rank holds.
+func (p *Placement) Load() []int {
+	load := make([]int, p.ranks)
+	for s := 0; s < p.shards; s++ {
+		for _, off := range p.offsets {
+			load[(s+off)%p.ranks]++
+		}
+	}
+	return load
+}

@@ -1,0 +1,105 @@
+package partition
+
+import "testing"
+
+// TestPlacementProperties brute-forces the three placement guarantees the
+// failover layer leans on, over every (ranks, k, shards) in a wide grid:
+//
+//  1. every shard's replicas land on k distinct ranks;
+//  2. no rank holds two replicas of the same shard (same statement from
+//     the rank's side — checked independently via HostsShard counting);
+//  3. replica load is balanced within ±1 shard of ceil/floor(S*k/R).
+func TestPlacementProperties(t *testing.T) {
+	for ranks := 1; ranks <= 12; ranks++ {
+		for k := 1; k <= ranks; k++ {
+			for shards := 1; shards <= 40; shards++ {
+				p, err := NewPlacement(shards, ranks, k)
+				if err != nil {
+					t.Fatalf("NewPlacement(%d,%d,%d): %v", shards, ranks, k, err)
+				}
+				for s := 0; s < shards; s++ {
+					reps := p.ReplicaRanks(s)
+					if len(reps) != k {
+						t.Fatalf("S=%d R=%d k=%d: shard %d has %d replicas", shards, ranks, k, s, len(reps))
+					}
+					if reps[0] != p.Primary(s) || reps[0] != s%ranks {
+						t.Fatalf("S=%d R=%d k=%d: shard %d primary %d, want %d", shards, ranks, k, s, reps[0], s%ranks)
+					}
+					seen := make(map[int]bool, k)
+					for _, r := range reps {
+						if r < 0 || r >= ranks {
+							t.Fatalf("S=%d R=%d k=%d: shard %d replica rank %d out of range", shards, ranks, k, s, r)
+						}
+						if seen[r] {
+							t.Fatalf("S=%d R=%d k=%d: shard %d placed twice on rank %d", shards, ranks, k, s, r)
+						}
+						seen[r] = true
+					}
+					// HostsShard must agree with the replica list exactly.
+					for r := 0; r < ranks; r++ {
+						if p.HostsShard(r, s) != seen[r] {
+							t.Fatalf("S=%d R=%d k=%d: HostsShard(%d,%d)=%v disagrees with ReplicaRanks", shards, ranks, k, r, s, p.HostsShard(r, s))
+						}
+					}
+				}
+				// Load balance: every rank within ±1 of the ideal S*k/R.
+				lo, hi := shards*k/ranks, (shards*k+ranks-1)/ranks
+				for r, load := range p.Load() {
+					if load < lo || load > hi {
+						t.Fatalf("S=%d R=%d k=%d: rank %d holds %d replicas, want in [%d,%d]", shards, ranks, k, r, load, lo, hi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlacementFullReplication pins the k == ranks corner: every rank holds
+// every shard, so any single survivor can serve the whole graph.
+func TestPlacementFullReplication(t *testing.T) {
+	p, err := NewPlacement(6, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 6; s++ {
+		for r := 0; r < 6; r++ {
+			if !p.HostsShard(r, s) {
+				t.Fatalf("k=ranks: rank %d missing shard %d", r, s)
+			}
+		}
+	}
+}
+
+// TestPlacementErrors pins the constructor's validation.
+func TestPlacementErrors(t *testing.T) {
+	if _, err := NewPlacement(0, 4, 1); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	if _, err := NewPlacement(4, 0, 1); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+	if _, err := NewPlacement(4, 4, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewPlacement(4, 4, 5); err == nil {
+		t.Fatal("k>ranks accepted")
+	}
+}
+
+// TestPlacementNonSiblings pins the concrete 4-rank k=2 layout the chaos
+// battery's kill-two-non-sibling scenario depends on: hosts {0,2} share
+// shards {0,2} and hosts {1,3} share shards {1,3}, so losing 0 then 1
+// leaves every shard one live replica.
+func TestPlacementNonSiblings(t *testing.T) {
+	p, err := NewPlacement(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 2}, {1, 3}, {2, 0}, {3, 1}}
+	for s, w := range want {
+		got := p.ReplicaRanks(s)
+		if got[0] != w[0] || got[1] != w[1] {
+			t.Fatalf("shard %d: replicas %v, want %v", s, got, w)
+		}
+	}
+}

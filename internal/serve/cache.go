@@ -77,6 +77,20 @@ func (c *resultCache) Get(key string) (*analytics.JobResult, bool) {
 	return el.Value.(*cacheEntry).res, true
 }
 
+// Peek returns the cached result for key without touching the hit/miss
+// counters or recency. The dispatcher uses it to dedupe at dispatch time
+// (a requeued twin may have populated the cache since admission) without
+// skewing the admission-time cache statistics tests and dashboards pin.
+func (c *resultCache) Peek(key string) (*analytics.JobResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*cacheEntry).res, true
+}
+
 // Put inserts (or refreshes) a result, evicting the least recently used
 // entry when over capacity.
 func (c *resultCache) Put(key string, res *analytics.JobResult) {

@@ -12,13 +12,16 @@
 //     scheduler hands a job to rank 0; every rank receives it through a
 //     command broadcast built on the existing Bcast collective (no new
 //     transport) and dispatches it through analytics.Run, so a job runs
-//     exactly as a one-shot SPMD program would.
+//     exactly as a one-shot SPMD program would. With Replicas > 1 every
+//     shard lives on k hosts and a supervisor re-forms the compute group
+//     over surviving replicas when a host dies (see failover.go).
 //   - Scheduler: admission control (bounded queue, per-request deadlines,
 //     typed 429/503 rejections), request batching (pending same-analytic
-//     single-source queries coalesce into one multi-source run), and an
-//     LRU result cache keyed by (graph epoch, analytic, params).
+//     single-source queries coalesce into one multi-source run), an LRU
+//     result cache keyed by (graph epoch, analytic, params), and requeue
+//     of jobs whose SPMD run died with a failed compute group.
 //   - Server: the HTTP/JSON front end (POST /v1/query, GET /v1/jobs/{id},
-//     GET /v1/stats, GET /healthz).
+//     GET /v1/stats, GET /healthz, POST /v1/admin/kill).
 package serve
 
 import (
@@ -35,11 +38,20 @@ import (
 	"repro/internal/partition"
 )
 
+// TransportFactory builds the slot transports for one compute-group
+// generation. It is called once per generation with the (fixed) slot count
+// and must return one connected transport per slot. The cluster owns the
+// returned transports and closes them when the generation ends.
+type TransportFactory func(gen uint64, slots int) ([]comm.Transport, error)
+
 // ClusterConfig shapes the resident rank group and its graph.
 type ClusterConfig struct {
-	// Ranks is the in-process rank count (must be positive).
+	// Ranks is the compute-slot count — one shard per slot (must be
+	// positive). It is also the initial host count; hosts can die, the
+	// slot count never changes.
 	Ranks int
-	// Threads is the per-rank worker count (<= 0 selects NumCPU).
+	// Threads is the per-rank worker count (<= 0 selects NumCPU). A host
+	// serving several slots after a failover splits this between them.
 	Threads int
 	// Source feeds the one-time graph build; it must be safe for
 	// concurrent ReadChunk calls (both SpecSource and gio readers are).
@@ -54,11 +66,28 @@ type ClusterConfig struct {
 	// Epoch identifies the resident graph build generation in result-cache
 	// keys; bump it when the same daemon reloads a new graph.
 	Epoch uint64
+	// Replicas is how many hosts hold each shard (0 or 1 = no
+	// replication). With k replicas the cluster survives any host losses
+	// that leave every shard at least one live replica.
+	Replicas int
+	// Transports, when non-nil, builds each generation's slot transports
+	// (e.g. a TCP mesh); nil selects the in-process group.
+	Transports TransportFactory
+	// WrapTransport, when non-nil, wraps every slot transport of every
+	// generation before use — the fault-injection seam the chaos battery
+	// drives with comm.ScheduledTransport.
+	WrapTransport func(gen uint64, slot int, tr comm.Transport) comm.Transport
 }
 
 // jobShutdown is the reserved analytic name the dispatch loop uses to wind
 // the rank group down; it never reaches analytics.Run.
 const jobShutdown = "_shutdown"
+
+// jobNudge is the reserved no-op analytic Kill submits so an idle rank 0
+// (parked on the submit channel, not in a collective) enters a broadcast
+// round and observes the aborted group promptly. On a healthy group it is
+// one empty round.
+const jobNudge = "_nudge"
 
 // JobStats is the per-job communication summary a finished job carries
 // back: rank 0's Stats breakdown plus the group-wide wire volume.
@@ -85,17 +114,31 @@ type pending struct {
 	resp chan outcome // buffered; exactly one send per accepted pending
 }
 
-// Cluster is a resident in-process rank group: p goroutines each holding a
-// communicator, a thread pool, and its shard of the distributed graph.
-// Jobs are submitted through Run (one at a time — the scheduler enforces
-// serialization; the cluster additionally meters overlap so tests can
-// prove it) and execute SPMD-style on the resident ranks.
+// hostState is one replica-holding host: whether it is still in the group
+// and which shards it holds (its own plus the backups replicated to it).
+type hostState struct {
+	alive  bool
+	shards map[int]*core.Graph
+}
+
+// Cluster is a resident rank group: compute slots (one per shard) served
+// by replica-holding hosts. Jobs are submitted through Run (one at a time
+// — the scheduler enforces serialization; the cluster additionally meters
+// overlap so tests can prove it) and execute SPMD-style on the resident
+// slots. When a host dies the supervisor re-forms the group over the
+// surviving replicas (failover.go); the slot count — and therefore the
+// SPMD group size every kernel sees — never changes.
 type Cluster struct {
-	size    int
-	epoch   uint64
-	n       uint32
-	m       uint64
-	builtIn time.Duration
+	size     int // compute slots == shards
+	replicas int
+	epoch    uint64
+	n        uint32
+	m        uint64
+	builtIn  time.Duration
+	start    time.Time
+
+	placement *partition.Placement
+	failover  *obs.FailoverCounters
 
 	submit chan *pending
 	quit   chan struct{}
@@ -105,6 +148,18 @@ type Cluster struct {
 	errMu     sync.Mutex
 	err       error
 
+	// hostMu guards hosts, condemned, and the current generation's
+	// transports/view (the Kill path pokes a live generation through
+	// them).
+	hostMu        sync.Mutex
+	hosts         []*hostState
+	condemned     []int
+	curTransports []comm.Transport
+	curView       *comm.Membership
+
+	generation atomic.Uint64
+	buildOK    atomic.Int64
+
 	// active meters concurrently in-flight Run calls; maxActive remembers
 	// the high-water mark (the "never two SPMD jobs at once" witness).
 	active    atomic.Int32
@@ -112,9 +167,10 @@ type Cluster struct {
 	jobsRun   atomic.Uint64
 }
 
-// NewCluster builds the distributed graph once, SPMD-style, and leaves the
-// rank group resident with every rank parked in its dispatch loop. The
-// returned cluster is ready for Run.
+// NewCluster builds the distributed graph once, SPMD-style, replicates
+// each shard onto its backup hosts, and leaves the group resident with
+// every slot parked in its dispatch loop. The returned cluster is ready
+// for Run.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Ranks <= 0 {
 		return nil, fmt.Errorf("serve: cluster needs a positive rank count, got %d", cfg.Ranks)
@@ -122,53 +178,37 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Source == nil {
 		return nil, fmt.Errorf("serve: cluster needs an edge source")
 	}
+	k := cfg.Replicas
+	if k <= 0 {
+		k = 1
+	}
+	pl, err := partition.NewPlacement(cfg.Ranks, cfg.Ranks, k)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	cl := &Cluster{
-		size:   cfg.Ranks,
-		epoch:  cfg.Epoch,
-		submit: make(chan *pending),
-		quit:   make(chan struct{}),
-		dead:   make(chan struct{}),
+		size:      cfg.Ranks,
+		replicas:  k,
+		epoch:     cfg.Epoch,
+		start:     time.Now(),
+		placement: pl,
+		failover:  &obs.FailoverCounters{},
+		submit:    make(chan *pending),
+		quit:      make(chan struct{}),
+		dead:      make(chan struct{}),
+		hosts:     make([]*hostState, cfg.Ranks),
+	}
+	for h := range cl.hosts {
+		cl.hosts[h] = &hostState{alive: true, shards: make(map[int]*core.Graph)}
 	}
 	cfg.Trace.Ensure(cfg.Ranks)
 
 	built := make(chan error, cfg.Ranks)
-	go func() {
-		start := time.Now()
-		err := comm.RunLocal(cfg.Ranks, func(c *comm.Comm) error {
-			c.SetTracer(cfg.Trace.Rank(c.Rank()))
-			c.SetMetrics(obs.NewMetrics())
-			ctx := core.NewCtx(c, cfg.Threads)
-			n, err := core.ScanNumVertices(ctx, cfg.Source)
-			if err != nil {
-				built <- err
-				return err
-			}
-			pt, err := core.MakePartitioner(ctx, cfg.Source, cfg.Partition, n, cfg.Seed)
-			if err != nil {
-				built <- err
-				return err
-			}
-			g, _, err := core.Build(ctx, cfg.Source, pt)
-			if err != nil {
-				built <- err
-				return err
-			}
-			if c.Rank() == 0 {
-				cl.n = g.NGlobal
-				cl.m = g.MGlobal
-				cl.builtIn = time.Since(start)
-			}
-			built <- nil
-			return cl.rankLoop(ctx, g)
-		})
-		cl.errMu.Lock()
-		cl.err = err
-		cl.errMu.Unlock()
-		close(cl.dead)
-	}()
+	go cl.supervise(cfg, built)
 
-	// Wait for every rank to pass (or fail) the build before reporting
-	// the cluster ready; a failed build tears the group down.
+	// Wait for every slot to pass (or fail) the build+replicate phase
+	// before reporting the cluster ready; a failed build tears the group
+	// down.
 	var buildErr error
 	for i := 0; i < cfg.Ranks; i++ {
 		if err := <-built; err != nil && buildErr == nil {
@@ -222,6 +262,12 @@ func (cl *Cluster) rankLoop(ctx *core.Ctx, g *core.Graph) error {
 		if job.Analytic == jobShutdown {
 			return nil
 		}
+		if job.Analytic == jobNudge {
+			if p != nil {
+				p.resp <- outcome{}
+			}
+			continue
+		}
 		// Rank-side admission check. Validate is deterministic on the
 		// broadcast descriptor, so every rank takes the same branch and
 		// an invalid job skips the run without desynchronizing the group
@@ -270,9 +316,16 @@ func (cl *Cluster) rankLoop(ctx *core.Ctx, g *core.Graph) error {
 // ErrClusterDown is returned by Run after the rank group has terminated.
 var ErrClusterDown = errors.New("serve: cluster is down")
 
+// ErrShardLost marks the unrecoverable failover outcome: some shard has no
+// live replica left, so the group cannot be re-formed.
+var ErrShardLost = errors.New("serve: shard lost all replicas")
+
 // Run executes one job on the resident ranks and blocks until its result.
 // The scheduler is the intended (sole) caller and submits one job at a
-// time; concurrent calls are safe but serialize on the rank group.
+// time; concurrent calls are safe but serialize on the rank group. A
+// submitted job survives failover: the submit channel is drained only by a
+// live generation's rank 0, so a job queued while the group re-forms is
+// simply picked up by the next generation.
 func (cl *Cluster) Run(job *analytics.Job) (*analytics.JobResult, JobStats, error) {
 	n := cl.active.Add(1)
 	for {
@@ -312,13 +365,16 @@ func (cl *Cluster) Run(job *analytics.Job) (*analytics.JobResult, JobStats, erro
 	}
 }
 
-// downErr reports the terminal error with the cluster-down sentinel.
+// downErr reports the terminal error with the cluster-down sentinel. The
+// cause is wrapped (not flattened), so callers can still discriminate the
+// originating rank's CommError kind — errors.As reaches through to the
+// *comm.CommError and errors.Is sees ErrShardLost.
 func (cl *Cluster) downErr() error {
 	cl.errMu.Lock()
 	err := cl.err
 	cl.errMu.Unlock()
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrClusterDown, err)
+		return fmt.Errorf("%w: %w", ErrClusterDown, err)
 	}
 	return ErrClusterDown
 }
@@ -344,8 +400,36 @@ func (cl *Cluster) Alive() bool {
 	}
 }
 
-// Size returns the rank count.
+// Size returns the compute-slot (shard) count.
 func (cl *Cluster) Size() int { return cl.size }
+
+// Replicas returns how many hosts hold each shard.
+func (cl *Cluster) Replicas() int { return cl.replicas }
+
+// Generation returns the current compute-group generation (0 = initial).
+func (cl *Cluster) Generation() uint64 { return cl.generation.Load() }
+
+// AliveHosts returns how many hosts remain in the group. Hosts condemned
+// through Kill but not yet consumed by a failover already count as gone —
+// they are leaving, and the admin kill response should say so.
+func (cl *Cluster) AliveHosts() int {
+	cl.hostMu.Lock()
+	defer cl.hostMu.Unlock()
+	doomed := make(map[int]bool, len(cl.condemned))
+	for _, h := range cl.condemned {
+		doomed[h] = true
+	}
+	n := 0
+	for i, h := range cl.hosts {
+		if h.alive && !doomed[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// FailoverStats snapshots the failover counters.
+func (cl *Cluster) FailoverStats() obs.FailoverSnapshot { return cl.failover.Snapshot() }
 
 // Epoch returns the graph build generation used in cache keys.
 func (cl *Cluster) Epoch() uint64 { return cl.epoch }

@@ -54,6 +54,7 @@ func NewServer(sched *Scheduler, cfg ServerConfig) *Server {
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/admin/kill", s.handleKill)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
 }
@@ -195,11 +196,15 @@ type statsResponse struct {
 		Ranks        int     `json:"ranks"`
 		Epoch        uint64  `json:"epoch"`
 		BuildSeconds float64 `json:"build_seconds"`
+		Replicas     int     `json:"replicas"`
+		Generation   uint64  `json:"generation"`
+		AliveHosts   int     `json:"alive_hosts"`
 	} `json:"graph"`
-	Scheduler SchedStats   `json:"scheduler"`
-	JobsRun   uint64       `json:"jobs_run"`
-	UptimeSec float64      `json:"uptime_seconds"`
-	LastJob   *lastJobJSON `json:"last_job,omitempty"`
+	Scheduler SchedStats           `json:"scheduler"`
+	Failover  obs.FailoverSnapshot `json:"failover"`
+	JobsRun   uint64               `json:"jobs_run"`
+	UptimeSec float64              `json:"uptime_seconds"`
+	LastJob   *lastJobJSON         `json:"last_job,omitempty"`
 }
 
 // lastJobJSON is the most recent SPMD job's communication summary.
@@ -225,7 +230,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Graph.Ranks = cl.Size()
 	resp.Graph.Epoch = cl.Epoch()
 	resp.Graph.BuildSeconds = cl.BuildTime().Seconds()
+	resp.Graph.Replicas = cl.Replicas()
+	resp.Graph.Generation = cl.Generation()
+	resp.Graph.AliveHosts = cl.AliveHosts()
 	resp.Scheduler = s.sched.Stats()
+	resp.Failover = cl.FailoverStats()
 	resp.JobsRun = cl.JobsRun()
 	resp.UptimeSec = time.Since(s.started).Seconds()
 	if js, ok := s.sched.LastJobStats(); ok {
@@ -239,6 +248,35 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleKill answers POST /v1/admin/kill {"host": n}: it condemns one
+// replica host, aborting the live compute group so failover runs — the
+// operational kill-a-rank drill (and the chaos recipe in EXPERIMENTS.md).
+// With no replication this kills the service; the endpoint refuses only
+// structurally invalid hosts, not unwise drills.
+func (s *Server) handleKill(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var body struct {
+		Host *int `json:"host"`
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil || body.Host == nil {
+		writeError(w, http.StatusBadRequest, errors.New(`want {"host": n}`))
+		return
+	}
+	if err := s.sched.cl.Kill(*body.Host); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"killed":      *body.Host,
+		"alive_hosts": s.sched.cl.AliveHosts(),
+	})
 }
 
 // handleHealthz answers probes: 200 while the cluster serves, 503 after it

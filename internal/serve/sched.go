@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/analytics"
+	"repro/internal/comm"
 	"repro/internal/obs"
 )
 
@@ -99,11 +100,12 @@ type request struct {
 	job      *analytics.Job
 	deadline time.Time
 
-	state  State
-	result *analytics.JobResult
-	err    error
-	cached bool
-	batch  int // coalesced request count of the SPMD run that answered it
+	state    State
+	result   *analytics.JobResult
+	err      error
+	cached   bool
+	batch    int // coalesced request count of the SPMD run that answered it
+	requeues int // times the request was replayed after a group death
 
 	enqueued time.Time
 	finished time.Time
@@ -118,9 +120,38 @@ type RequestView struct {
 	Analytic string               `json:"analytic"`
 	Result   *analytics.JobResult `json:"result,omitempty"`
 	Err      string               `json:"error,omitempty"`
-	Cached   bool                 `json:"cached,omitempty"`
-	Batch    int                  `json:"batch,omitempty"`
-	WaitedMS int64                `json:"waited_ms,omitempty"`
+	// ErrKind discriminates failures for clients and tests: "shard-lost",
+	// "cluster-down", "deadline", "shutdown", "bad-request",
+	// "comm-<kind>" (the originating CommError's taxonomy kind), or
+	// "internal".
+	ErrKind  string `json:"error_kind,omitempty"`
+	Cached   bool   `json:"cached,omitempty"`
+	Batch    int    `json:"batch,omitempty"`
+	Requeues int    `json:"requeues,omitempty"`
+	WaitedMS int64  `json:"waited_ms,omitempty"`
+}
+
+// errKindLabel classifies a terminal failure for RequestView.ErrKind. The
+// shard-lost check precedes cluster-down because the terminal downErr
+// wraps both sentinels.
+func errKindLabel(err error) string {
+	switch {
+	case errors.Is(err, ErrShardLost):
+		return "shard-lost"
+	case errors.Is(err, ErrClusterDown):
+		return "cluster-down"
+	case errors.Is(err, ErrDeadline):
+		return "deadline"
+	case errors.Is(err, ErrShuttingDown):
+		return "shutdown"
+	case errors.Is(err, ErrBadRequest):
+		return "bad-request"
+	}
+	var ce *comm.CommError
+	if errors.As(err, &ce) {
+		return "comm-" + ce.Kind.String()
+	}
+	return "internal"
 }
 
 // retainMax bounds how many terminal requests stay queryable through
@@ -141,8 +172,17 @@ type SchedStats struct {
 	MaxBatch    int        `json:"max_batch"`
 	CacheHits   uint64     `json:"cache_hits"`
 	CacheMisses uint64     `json:"cache_misses"`
+	Requeued    uint64     `json:"requeued"`
+	DedupeHits  uint64     `json:"dedupe_hits"`
 	Cache       CacheStats `json:"cache"`
 }
+
+// schedMaxRequeues bounds how many times one request is replayed across
+// group deaths before it fails. Each failover removes a host, so a healthy
+// recovery replays a request only a handful of times; the cap is a
+// backstop against a pathological flap, sized above the worst case of a
+// large group dying one host per dispatch.
+const schedMaxRequeues = 16
 
 // Scheduler admits analytic queries against a resident cluster: bounded
 // queue, per-request deadlines, single-dispatcher serialization (one SPMD
@@ -294,9 +334,11 @@ func (s *Scheduler) viewLocked(r *request) RequestView {
 		Result:   r.result,
 		Cached:   r.cached,
 		Batch:    r.batch,
+		Requeues: r.requeues,
 	}
 	if r.err != nil {
 		v.Err = r.err.Error()
+		v.ErrKind = errKindLabel(r.err)
 	}
 	if r.state.Terminal() {
 		v.WaitedMS = r.finished.Sub(r.enqueued).Milliseconds()
@@ -426,6 +468,22 @@ func (s *Scheduler) take() ([]*request, bool) {
 			live = append(live, r)
 		}
 		s.queue = live
+		// Dispatch-time dedupe: a request admitted as a cache miss may
+		// find its answer cached by the time it reaches the head — its
+		// requeued twin re-ran during a failover, or an identical earlier
+		// request completed. Peek (not Get) keeps the admission-time
+		// hit/miss counters honest; DedupeHits meters this path.
+		for len(s.queue) > 0 {
+			head := s.queue[0]
+			res, ok := s.cache.Peek(cacheKey(s.cl.Epoch(), head.job))
+			if !ok {
+				break
+			}
+			head.cached = true
+			s.stats.DedupeHits++
+			s.finishLocked(head, StateDone, res, nil)
+			s.queue = s.queue[1:]
+		}
 		if len(s.queue) > 0 {
 			head := s.queue[0]
 			batch := []*request{head}
@@ -460,6 +518,18 @@ func (s *Scheduler) take() ([]*request, bool) {
 		<-s.wake
 		s.mu.Lock()
 	}
+}
+
+// requeueable reports whether a job failure was a group death worth
+// replaying: a typed communication failure on a cluster that is not
+// terminally down. Job-level failures (encode/validate/kernel errors) and
+// the terminal sentinels fail the request immediately.
+func requeueable(err error) bool {
+	if err == nil || errors.Is(err, ErrClusterDown) || errors.Is(err, ErrShardLost) {
+		return false
+	}
+	var ce *comm.CommError
+	return errors.As(err, &ce)
 }
 
 // batchable reports whether b can join a's multi-source run: same
@@ -500,6 +570,31 @@ func (s *Scheduler) complete(batch []*request, merged *analytics.Job, res *analy
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err != nil {
+		if requeueable(err) && !s.closed {
+			// The SPMD run died with its compute group, not because of the
+			// job: put the batch members back at the head of the queue so
+			// the re-formed group replays them. They keep their original
+			// deadlines; take() still expires the ones that ran out of
+			// time during recovery.
+			var kept []*request
+			for _, r := range batch {
+				if r.requeues >= schedMaxRequeues {
+					s.finishLocked(r, StateFailed, nil,
+						fmt.Errorf("serve: giving up after %d failover requeues: %w", r.requeues, err))
+					continue
+				}
+				r.requeues++
+				r.state = StateQueued
+				kept = append(kept, r)
+			}
+			if len(kept) > 0 {
+				s.queue = append(kept, s.queue...)
+				s.stats.Requeued += uint64(len(kept))
+				s.cl.failover.JobsRequeued.Add(uint64(len(kept)))
+				s.signal()
+			}
+			return
+		}
 		for _, r := range batch {
 			r.batch = len(batch)
 			s.finishLocked(r, StateFailed, nil, err)
