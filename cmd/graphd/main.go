@@ -12,13 +12,25 @@
 //	curl -s localhost:8080/v1/query -d '{"analytic":"pagerank","wait":true}'
 //	curl -s localhost:8080/v1/stats
 //
+// Mutate it (streaming edge ingest; op 1 = insert, 2 = delete), then
+// compact the accumulated overlay into a new packed CSR epoch:
+//
+//	curl -s localhost:8080/v1/mutate -d '{"mutations":[{"op":1,"src":3,"dst":9}],"wait":true}'
+//	curl -s -X POST localhost:8080/v1/admin/compact
+//
 // Requests are admitted through a bounded queue (429 when full), run one
 // SPMD job at a time, coalesce pending same-analytic single-source queries
 // into one multi-source run, and answer repeats from an LRU result cache.
+// Mutation batches flow through the same serialized job stream, so reads
+// and writes are totally ordered; every acknowledged batch advances the
+// graph epoch, which keys the result cache. With -auto-compact n > 0 the
+// daemon compacts on its own every n batches; otherwise compaction is
+// admin-triggered.
 //
 // With -replicas k > 1 every shard is held by k hosts; if a host dies the
 // cluster re-forms over the survivors and replays in-flight queries
-// (POST /v1/admin/kill drills this live).
+// (POST /v1/admin/kill drills this live). Backup replicas apply every
+// mutation batch too, so a promoted shard is already current.
 package main
 
 import (
@@ -50,6 +62,7 @@ func main() {
 		part     = flag.String("part", "rand", "partitioning: np, mp, rand")
 		seed     = flag.Uint64("seed", 0xFACE, "partitioner seed")
 		replicas = flag.Int("replicas", 1, "hosts holding each shard (k>1 survives rank loss via failover)")
+		autoComp = flag.Int("auto-compact", 0, "compact the mutation overlay every n acknowledged batches (0 = admin-triggered only)")
 
 		queueCap = flag.Int("queue-cap", 64, "admission queue bound (beyond it requests get 429)")
 		batchMax = flag.Int("batch-max", 8, "max single-source queries coalesced into one multi-source run (1 = no batching)")
@@ -100,13 +113,14 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "graphd: building resident graph on %d ranks...\n", *ranks)
 	cl, err := serve.NewCluster(serve.ClusterConfig{
-		Ranks:     *ranks,
-		Threads:   *threads,
-		Source:    src,
-		Partition: kind,
-		Seed:      *seed,
-		Epoch:     1,
-		Replicas:  *replicas,
+		Ranks:       *ranks,
+		Threads:     *threads,
+		Source:      src,
+		Partition:   kind,
+		Seed:        *seed,
+		Epoch:       1,
+		Replicas:    *replicas,
+		AutoCompact: *autoComp,
 	})
 	if err != nil {
 		fatal(err)
@@ -125,7 +139,7 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: api}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "graphd: serving on http://%s (POST /v1/query, GET /v1/jobs/{id}, /v1/stats, /healthz)\n", *addr)
+	fmt.Fprintf(os.Stderr, "graphd: serving on http://%s (POST /v1/query, /v1/mutate, GET /v1/jobs/{id}, /v1/stats, /healthz)\n", *addr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/edge"
 )
 
 // Job is the uniform analytic request descriptor: every analytic the serve
@@ -46,6 +47,18 @@ type Job struct {
 	// bottom-up / dense exchange; also "pull"). Results are bit-identical
 	// across policies; only wire format and work order change.
 	Hybrid string `json:"hybrid,omitempty"`
+	// Mutations is the ingest batch of a JobMutate descriptor: the ordered
+	// edge inserts/deletes to route and apply. Ignored by analytics.
+	Mutations edge.Batch `json:"mutations,omitempty"`
+	// MutationID is the cluster-assigned id of a JobMutate batch. Replay
+	// of an already-applied id (failover requeue) is a no-op on every
+	// shard, so ingest is exactly-once per logical batch.
+	MutationID uint64 `json:"mutation_id,omitempty"`
+	// CompactVersion is the overlay version a JobCompact descriptor may
+	// swap: shards only install their pre-materialized merged CSR if no
+	// further batch applied since (otherwise the compaction is a no-op and
+	// the caller retries).
+	CompactVersion uint64 `json:"compact_version,omitempty"`
 }
 
 // Analytic names accepted by Job.Analytic.
@@ -58,7 +71,19 @@ const (
 	JobLabelProp        = "labelprop"
 	JobWCC              = "wcc"
 	JobKCore            = "kcore"
+	// JobMutate and JobCompact are the streaming-ingest control jobs. They
+	// ride the same broadcast dispatch as analytics so mutations serialize
+	// with queries, but the serve layer intercepts them before Run.
+	JobMutate  = "mutate"
+	JobCompact = "compact"
 )
+
+// Mutating reports whether the job alters graph state rather than reading
+// it (ingest and compaction). Mutating jobs are never cached, never
+// batched, and never answered from another job's result.
+func (j *Job) Mutating() bool {
+	return j.Analytic == JobMutate || j.Analytic == JobCompact
+}
 
 // SourceRooted reports whether the analytic takes query vertices (and is
 // therefore batchable by source coalescing).
@@ -128,6 +153,17 @@ func (j *Job) Validate(n uint32) error {
 			return fmt.Errorf("analytics: %s job with %d iterations (max %d)", j.Analytic, j.Iterations, maxJobIterations)
 		}
 	case JobWCC, JobKCore:
+	case JobMutate:
+		if len(j.Mutations) == 0 {
+			return fmt.Errorf("analytics: mutate job with empty batch")
+		}
+		if len(j.Mutations) > edge.MaxBatch {
+			return fmt.Errorf("analytics: mutate job with %d mutations (max %d)", len(j.Mutations), edge.MaxBatch)
+		}
+		if err := j.Mutations.Validate(n); err != nil {
+			return err
+		}
+	case JobCompact:
 	default:
 		return fmt.Errorf("analytics: unknown analytic %q", j.Analytic)
 	}
@@ -208,6 +244,14 @@ type JobResult struct {
 	LargestSize   uint64 `json:"largest_size,omitempty"`
 	// Communities is the number of distinct LabelProp communities.
 	Communities uint64 `json:"communities,omitempty"`
+	// Applied is the record count a mutate job processed (or, for a
+	// compact job, the number of shards that swapped epochs).
+	Applied uint64 `json:"applied,omitempty"`
+	// Epoch is the graph epoch after a mutate/compact job.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Compacted reports whether a compact job swapped every shard (false
+	// means a mutation raced the merge and the compaction was skipped).
+	Compacted bool `json:"compacted,omitempty"`
 }
 
 // ForSource projects a batched result down to the single-source answer for
@@ -246,6 +290,11 @@ func (r *JobResult) Canonical() []byte {
 func Run(ctx *core.Ctx, g *core.Graph, job *Job) (*JobResult, error) {
 	if err := job.Validate(g.NGlobal); err != nil {
 		return nil, err
+	}
+	if job.Mutating() {
+		// Ingest/compaction need shard overlay state, which only the serve
+		// layer holds; reaching Run means a dispatch bug.
+		return nil, fmt.Errorf("analytics: %s job cannot run as an analytic", job.Analytic)
 	}
 	// A non-empty job policy overrides the context's mode for this run
 	// (alpha/beta stay whatever the process configured; an empty field

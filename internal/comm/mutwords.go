@@ -1,0 +1,46 @@
+package comm
+
+import "fmt"
+
+// Routed mutation record codec: the wire format of the streaming-ingest
+// routing exchange. One routed record is four consecutive uint32 words —
+// op, src, dst, seq — so a batch's per-destination segments are plain
+// uint32 payloads for Alltoallv, the same element type the construction
+// pipeline ships. Seq is the record's index inside its ingest batch;
+// because each rank routes a contiguous chunk of the batch and segments
+// concatenate in rank order, receivers see seq strictly ascending, which
+// doubles as a misrouting check.
+
+// MutationRecord is one routed edge mutation.
+type MutationRecord struct {
+	Op       uint8
+	Src, Dst uint32
+	Seq      uint32
+}
+
+// MutationRecordWords is the wire width of one record.
+const MutationRecordWords = 4
+
+// AppendMutationRecord packs one record onto dst.
+func AppendMutationRecord(dst []uint32, r MutationRecord) []uint32 {
+	return append(dst, uint32(r.Op), r.Src, r.Dst, r.Seq)
+}
+
+// UnpackMutationRecords parses a routed segment. It rejects ragged word
+// counts and op words outside the defined range; seq ordering is the
+// caller's contract to check (it depends on chunk placement, not on the
+// codec).
+func UnpackMutationRecords(words []uint32) ([]MutationRecord, error) {
+	if len(words)%MutationRecordWords != 0 {
+		return nil, fmt.Errorf("comm: ragged mutation segment of %d words", len(words))
+	}
+	recs := make([]MutationRecord, len(words)/MutationRecordWords)
+	for i := range recs {
+		w := words[i*MutationRecordWords:]
+		if w[0] == 0 || w[0] > 2 {
+			return nil, fmt.Errorf("comm: mutation record %d has invalid op word %#x", i, w[0])
+		}
+		recs[i] = MutationRecord{Op: uint8(w[0]), Src: w[1], Dst: w[2], Seq: w[3]}
+	}
+	return recs, nil
+}

@@ -1,0 +1,50 @@
+package comm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMutationRecordRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	recs := make([]MutationRecord, 257)
+	for i := range recs {
+		recs[i] = MutationRecord{
+			Op:  uint8(1 + rng.Intn(2)),
+			Src: rng.Uint32(),
+			Dst: rng.Uint32(),
+			Seq: uint32(i),
+		}
+	}
+	var words []uint32
+	for _, r := range recs {
+		words = AppendMutationRecord(words, r)
+	}
+	got, err := UnpackMutationRecords(words)
+	if err != nil {
+		t.Fatalf("unpack: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("unpacked %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestMutationRecordRejects(t *testing.T) {
+	if _, err := UnpackMutationRecords([]uint32{1, 2, 3}); err == nil {
+		t.Fatal("ragged segment accepted")
+	}
+	if _, err := UnpackMutationRecords([]uint32{0, 1, 2, 3}); err == nil {
+		t.Fatal("zero op accepted")
+	}
+	if _, err := UnpackMutationRecords([]uint32{7, 1, 2, 3}); err == nil {
+		t.Fatal("out-of-range op accepted")
+	}
+	if recs, err := UnpackMutationRecords(nil); err != nil || len(recs) != 0 {
+		t.Fatalf("empty segment: %v %v", recs, err)
+	}
+}

@@ -1,0 +1,402 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/comm"
+	"repro/internal/vmap"
+)
+
+// Delta is one rank's mutable overlay on top of an immutable base shard:
+// the streaming-ingest counterpart of the build-once CSR. Deleted base
+// edges are tombstoned by CSR position (a bitset over OutEdges/InEdges),
+// inserted edges accumulate per owned vertex as global-id adjacency, and
+// every applied routed record is appended to a versioned little-endian
+// delta log (deltalog.go). The logical adjacency of owned vertex v is
+//
+//	base CSR row of v  minus  tombstoned positions  plus  extra rows
+//
+// which MergeDelta packs back into a plain *Graph — so analytics traverse
+// mutated graphs through the exact Table II structures they already know,
+// and ghost discovery (including ghosts created or orphaned by cut-edge
+// mutations) reruns from the merged adjacency.
+//
+// Mutation semantics, identical on both CSR sides and in the sequential
+// oracle edge.Batch.ApplyTo: an insert is a no-op if any live copy of the
+// edge exists; a delete tombstones every live copy and is a no-op if none
+// exists. Applying the same batch twice is therefore a no-op, which makes
+// failover replay of an in-flight batch safe.
+type Delta struct {
+	base *Graph
+
+	// tombOut/tombIn are lazily allocated bitsets over base CSR positions.
+	tombOut, tombIn   []uint64
+	tombOutN, tombInN uint64
+
+	// extraOut/extraIn map an owned local id to inserted neighbor global
+	// ids, in application order (MergeDelta sorts, so order is cosmetic).
+	extraOut, extraIn   map[uint32][]uint32
+	extraOutN, extraInN uint64
+
+	log      []byte
+	lastID   uint64
+	batches  uint64
+	inserted uint64
+	deleted  uint64
+}
+
+// NewDelta returns an empty overlay over base.
+func NewDelta(base *Graph) *Delta {
+	return &Delta{
+		base:     base,
+		extraOut: make(map[uint32][]uint32),
+		extraIn:  make(map[uint32][]uint32),
+	}
+}
+
+// Base returns the immutable shard under the overlay.
+func (d *Delta) Base() *Graph { return d.base }
+
+// FastForward raises the replay watermark without applying anything. A
+// compaction swap replaces a shard's overlay with a fresh one over the new
+// base; the new overlay must keep the old watermark or a replayed batch
+// (already folded into the base) would apply twice.
+func (d *Delta) FastForward(id uint64) {
+	if id > d.lastID {
+		d.lastID = id
+	}
+}
+
+// Empty reports whether the overlay changes nothing.
+func (d *Delta) Empty() bool {
+	return d.tombOutN == 0 && d.tombInN == 0 && d.extraOutN == 0 && d.extraInN == 0
+}
+
+// Batches returns the number of distinct batches applied.
+func (d *Delta) Batches() uint64 { return d.batches }
+
+// LastID returns the id of the most recently applied batch.
+func (d *Delta) LastID() uint64 { return d.lastID }
+
+// Log returns the encoded delta log (aliases internal storage).
+func (d *Delta) Log() []byte { return d.log }
+
+// LiveOut returns the rank-local live out-edge count under the overlay.
+func (d *Delta) LiveOut() uint64 { return d.base.MOut() - d.tombOutN + d.extraOutN }
+
+// LiveIn returns the rank-local live in-edge count under the overlay.
+func (d *Delta) LiveIn() uint64 { return d.base.MIn() - d.tombInN + d.extraInN }
+
+// DeltaStats summarizes one rank's overlay for service counters.
+type DeltaStats struct {
+	Batches  uint64 `json:"batches"`
+	Inserted uint64 `json:"inserted"`
+	Deleted  uint64 `json:"deleted"`
+	TombOut  uint64 `json:"tombstones_out"`
+	TombIn   uint64 `json:"tombstones_in"`
+	ExtraOut uint64 `json:"extra_out"`
+	ExtraIn  uint64 `json:"extra_in"`
+	LogBytes uint64 `json:"log_bytes"`
+}
+
+// Stats snapshots the overlay counters.
+func (d *Delta) Stats() DeltaStats {
+	return DeltaStats{
+		Batches:  d.batches,
+		Inserted: d.inserted,
+		Deleted:  d.deleted,
+		TombOut:  d.tombOutN,
+		TombIn:   d.tombInN,
+		ExtraOut: d.extraOutN,
+		ExtraIn:  d.extraInN,
+		LogBytes: uint64(len(d.log)),
+	}
+}
+
+// Clone deep-copies the overlay structures needed by MergeDelta, so a
+// background merge can run while new batches keep applying to the
+// original. The log is not copied (merging never reads it).
+func (d *Delta) Clone() *Delta {
+	c := &Delta{
+		base:     d.base,
+		tombOutN: d.tombOutN, tombInN: d.tombInN,
+		extraOutN: d.extraOutN, extraInN: d.extraInN,
+		extraOut: make(map[uint32][]uint32, len(d.extraOut)),
+		extraIn:  make(map[uint32][]uint32, len(d.extraIn)),
+		lastID:   d.lastID,
+		batches:  d.batches,
+		inserted: d.inserted,
+		deleted:  d.deleted,
+	}
+	c.tombOut = append([]uint64(nil), d.tombOut...)
+	c.tombIn = append([]uint64(nil), d.tombIn...)
+	for v, gids := range d.extraOut {
+		c.extraOut[v] = append([]uint32(nil), gids...)
+	}
+	for v, gids := range d.extraIn {
+		c.extraIn[v] = append([]uint32(nil), gids...)
+	}
+	return c
+}
+
+func bitGet(words []uint64, i uint64) bool {
+	return words != nil && words[i>>6]&(1<<(i&63)) != 0
+}
+
+func bitSet(words []uint64, i uint64) { words[i>>6] |= 1 << (i & 63) }
+
+func (d *Delta) tombstones(out bool) []uint64 {
+	if out {
+		if d.tombOut == nil {
+			d.tombOut = make([]uint64, (d.base.MOut()+63)/64)
+		}
+		return d.tombOut
+	}
+	if d.tombIn == nil {
+		d.tombIn = make([]uint64, (d.base.MIn()+63)/64)
+	}
+	return d.tombIn
+}
+
+// applySide applies one routed record to one CSR side. For the out side
+// the owned endpoint is Src and the neighbor is Dst; the in side is the
+// mirror image. Neighbors are matched by global id so edges to vertices
+// the base shard has never seen (fresh ghosts) work uniformly.
+func (d *Delta) applySide(out bool, rec comm.MutationRecord) error {
+	b := d.base
+	ownedGid, nbrGid := rec.Src, rec.Dst
+	if !out {
+		ownedGid, nbrGid = rec.Dst, rec.Src
+	}
+	lid := b.LocalID(ownedGid)
+	if lid >= b.NLoc {
+		side := "in"
+		if out {
+			side = "out"
+		}
+		return fmt.Errorf("core: %s-side mutation for vertex %d routed to rank %d, owner is %d",
+			side, ownedGid, b.rank, b.Part.Owner(ownedGid))
+	}
+	idx, edges := b.InIdx, b.InEdges
+	extras := d.extraIn
+	if out {
+		idx, edges = b.OutIdx, b.OutEdges
+		extras = d.extraOut
+	}
+	tombs := d.tombstones(out)
+
+	// Count live base copies (and remember positions for deletion).
+	liveBase := 0
+	for i := idx[lid]; i < idx[lid+1]; i++ {
+		if !bitGet(tombs, i) && b.Unmap[edges[i]] == nbrGid {
+			liveBase++
+		}
+	}
+	row := extras[lid]
+	liveExtra := 0
+	for _, gid := range row {
+		if gid == nbrGid {
+			liveExtra++
+		}
+	}
+
+	switch rec.Op {
+	case 1: // insert
+		if liveBase+liveExtra > 0 {
+			return nil
+		}
+		extras[lid] = append(row, nbrGid)
+		if out {
+			d.extraOutN++
+			d.inserted++
+		} else {
+			d.extraInN++
+		}
+	case 2: // delete
+		if liveBase+liveExtra == 0 {
+			return nil
+		}
+		for i := idx[lid]; i < idx[lid+1]; i++ {
+			if !bitGet(tombs, i) && b.Unmap[edges[i]] == nbrGid {
+				bitSet(tombs, i)
+				if out {
+					d.tombOutN++
+				} else {
+					d.tombInN++
+				}
+			}
+		}
+		if liveExtra > 0 {
+			kept := row[:0]
+			for _, gid := range row {
+				if gid != nbrGid {
+					kept = append(kept, gid)
+				}
+			}
+			if len(kept) == 0 {
+				delete(extras, lid)
+			} else {
+				extras[lid] = kept
+			}
+			if out {
+				d.extraOutN -= uint64(liveExtra)
+			} else {
+				d.extraInN -= uint64(liveExtra)
+			}
+		}
+		if out {
+			d.deleted++
+		}
+	default:
+		return fmt.Errorf("core: invalid mutation op %d", rec.Op)
+	}
+	return nil
+}
+
+// ApplyRouted applies one batch's routed records — out-side records whose
+// source this rank owns and in-side records whose destination it owns —
+// and appends them to the delta log. Records must arrive in ascending
+// batch sequence (the routing exchange guarantees it: chunks are
+// contiguous and segments concatenate in rank order). A batch id at or
+// below the last applied id is a failover replay and is skipped whole, so
+// every shard replica converges to exactly-once application per batch.
+func (d *Delta) ApplyRouted(id uint64, out, in []comm.MutationRecord) error {
+	if id <= d.lastID {
+		return nil
+	}
+	for name, recs := range map[string][]comm.MutationRecord{"out": out, "in": in} {
+		for i := 1; i < len(recs); i++ {
+			if recs[i].Seq <= recs[i-1].Seq {
+				return fmt.Errorf("core: %s-side mutation seq %d after %d: misrouted exchange",
+					name, recs[i].Seq, recs[i-1].Seq)
+			}
+		}
+	}
+	for _, rec := range out {
+		if err := d.applySide(true, rec); err != nil {
+			return err
+		}
+	}
+	for _, rec := range in {
+		if err := d.applySide(false, rec); err != nil {
+			return err
+		}
+	}
+	d.log = AppendDeltaFrame(d.log, id, out, in)
+	d.lastID = id
+	d.batches++
+	return nil
+}
+
+// MergeDelta packs the overlay into a fresh *Graph: per-vertex adjacency
+// is the live base row plus extras, sorted by neighbor global id (the
+// canonical adjacency order — see CanonicalizeAdjacency), ghosts are
+// rediscovered from the merged adjacency in deterministic vertex/sorted
+// order, and the vertex map is rebuilt. The output depends only on the
+// logical mutated graph, never on mutation arrival order or on how often
+// the overlay was compacted — replicas that compacted at different times
+// still materialize byte-identical shards. mGlobal is the global live
+// edge count (an Allreduce of LiveOut, done by the caller because merging
+// itself is deliberately communication-free).
+func MergeDelta(d *Delta, mGlobal uint64) (*Graph, error) {
+	b := d.base
+	nloc := b.NLoc
+
+	mergeSide := func(idx []uint64, edges []uint32, tombs []uint64, extras map[uint32][]uint32, hint uint64) ([]uint64, []uint32) {
+		newIdx := make([]uint64, nloc+1)
+		gids := make([]uint32, 0, hint)
+		for v := uint32(0); v < nloc; v++ {
+			start := len(gids)
+			for i := idx[v]; i < idx[v+1]; i++ {
+				if !bitGet(tombs, i) {
+					gids = append(gids, b.Unmap[edges[i]])
+				}
+			}
+			gids = append(gids, extras[v]...)
+			row := gids[start:]
+			sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+			newIdx[v+1] = uint64(len(gids))
+		}
+		return newIdx, gids
+	}
+	outIdx, outGids := mergeSide(b.OutIdx, b.OutEdges, d.tombOut, d.extraOut, d.LiveOut())
+	inIdx, inGids := mergeSide(b.InIdx, b.InEdges, d.tombIn, d.extraIn, d.LiveIn())
+
+	// Relabel: owned vertices keep [0, nloc) in ascending global order;
+	// ghosts are discovered from the merged adjacency (out side first,
+	// then in side — both already in deterministic order).
+	vm := vmap.New(int(nloc) * 2)
+	unmap := make([]uint32, nloc, nloc+b.NGst)
+	copy(unmap, b.Unmap[:nloc])
+	for i, gid := range unmap {
+		vm.Put(gid, uint32(i))
+	}
+	discover := func(gids []uint32) {
+		for _, gid := range gids {
+			if _, inserted := vm.PutIfAbsent(gid, uint32(len(unmap))); inserted {
+				unmap = append(unmap, gid)
+			}
+		}
+	}
+	discover(outGids)
+	discover(inGids)
+	ngst := uint32(len(unmap)) - nloc
+
+	g := &Graph{
+		NGlobal: b.NGlobal,
+		MGlobal: mGlobal,
+		NLoc:    nloc,
+		NGst:    ngst,
+		OutIdx:  outIdx,
+		InIdx:   inIdx,
+		Unmap:   unmap,
+		Map:     vm,
+		Part:    b.Part,
+		rank:    b.rank,
+	}
+	g.GhostOwner = make([]int32, ngst)
+	for i := uint32(0); i < ngst; i++ {
+		g.GhostOwner[i] = int32(b.Part.Owner(unmap[nloc+i]))
+	}
+	translate := func(gids []uint32) ([]uint32, error) {
+		lids := make([]uint32, len(gids))
+		for i, gid := range gids {
+			lid := vm.GetOr(gid, InvalidLocal)
+			if lid == InvalidLocal {
+				return nil, fmt.Errorf("core: merged neighbor %d missing from vertex map", gid)
+			}
+			lids[i] = lid
+		}
+		return lids, nil
+	}
+	var err error
+	if g.OutEdges, err = translate(outGids); err != nil {
+		return nil, err
+	}
+	if g.InEdges, err = translate(inGids); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("core: merged shard invalid: %w", err)
+	}
+	return g, nil
+}
+
+// CanonicalizeAdjacency sorts every owned vertex's out- and in-neighbor
+// row by neighbor global id, in place. Build order (parallel scatter) and
+// merge order both vanish under this ordering, so two shards holding the
+// same logical graph expose bitwise-identical traversal order — the
+// property the differential rebuild-equivalence battery relies on for
+// analytics whose floating-point results are sensitive to within-row
+// summation order (PageRank variants).
+func CanonicalizeAdjacency(g *Graph) {
+	sortRows := func(idx []uint64, edges []uint32) {
+		for v := uint32(0); v < g.NLoc; v++ {
+			row := edges[idx[v]:idx[v+1]]
+			sort.Slice(row, func(i, j int) bool { return g.Unmap[row[i]] < g.Unmap[row[j]] })
+		}
+	}
+	sortRows(g.OutIdx, g.OutEdges)
+	sortRows(g.InIdx, g.InEdges)
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/edge"
+	"repro/internal/gen"
+	"repro/internal/partition"
+)
+
+// mutationSchedule generates an adversarial ingest schedule against list:
+// duplicate inserts, deletes of missing edges, deletes of live edges
+// (including multigraph copies), and re-inserts of just-deleted edges.
+// It returns the batches plus the oracle list after each batch.
+func mutationSchedule(rng *rand.Rand, n uint32, list edge.List, batches, perBatch int) ([]edge.Batch, []edge.List) {
+	var outBatches []edge.Batch
+	var oracles []edge.List
+	cur := append(edge.List(nil), list...)
+	for b := 0; b < batches; b++ {
+		var batch edge.Batch
+		for len(batch) < perBatch {
+			switch rng.Intn(10) {
+			case 0, 1, 2: // random insert (often new, sometimes duplicate)
+				batch = append(batch, edge.Mutation{Op: edge.OpInsert, Src: uint32(rng.Intn(int(n))), Dst: uint32(rng.Intn(int(n)))})
+			case 3: // duplicate insert of a live edge
+				if cur.Len() > 0 {
+					i := rng.Intn(cur.Len())
+					batch = append(batch, edge.Mutation{Op: edge.OpInsert, Src: cur.Src(i), Dst: cur.Dst(i)})
+				}
+			case 4, 5, 6: // delete a live edge
+				if cur.Len() > 0 {
+					i := rng.Intn(cur.Len())
+					m := edge.Mutation{Op: edge.OpDelete, Src: cur.Src(i), Dst: cur.Dst(i)}
+					batch = append(batch, m)
+					if rng.Intn(2) == 0 { // re-insert after delete, same batch
+						batch = append(batch, edge.Mutation{Op: edge.OpInsert, Src: m.Src, Dst: m.Dst})
+					}
+				}
+			case 7: // delete of a (probably) missing edge
+				batch = append(batch, edge.Mutation{Op: edge.OpDelete, Src: uint32(rng.Intn(int(n))), Dst: uint32(rng.Intn(int(n)))})
+			case 8: // self-loop churn
+				v := uint32(rng.Intn(int(n)))
+				op := edge.OpInsert
+				if rng.Intn(2) == 0 {
+					op = edge.OpDelete
+				}
+				batch = append(batch, edge.Mutation{Op: op, Src: v, Dst: v})
+			case 9: // insert then delete in the same batch (net no-op)
+				u, v := uint32(rng.Intn(int(n))), uint32(rng.Intn(int(n)))
+				batch = append(batch,
+					edge.Mutation{Op: edge.OpInsert, Src: u, Dst: v},
+					edge.Mutation{Op: edge.OpDelete, Src: u, Dst: v})
+			}
+		}
+		cur = batch.ApplyTo(cur)
+		outBatches = append(outBatches, batch)
+		oracles = append(oracles, cur)
+	}
+	return outBatches, oracles
+}
+
+// globalAdjacency computes per-vertex sorted neighbor multisets from a
+// global edge list — the sequential oracle for merged shard adjacency.
+func globalAdjacency(n uint32, list edge.List) (out, in [][]uint32) {
+	out = make([][]uint32, n)
+	in = make([][]uint32, n)
+	for i := 0; i < list.Len(); i++ {
+		s, d := list.Src(i), list.Dst(i)
+		out[s] = append(out[s], d)
+		in[d] = append(in[d], s)
+	}
+	for v := range out {
+		out[v] = sorted(out[v])
+		in[v] = sorted(in[v])
+	}
+	return out, in
+}
+
+// checkShardAgainstOracle compares one shard's per-owned-vertex degrees
+// and sorted global adjacency against the oracle.
+func checkShardAgainstOracle(g *Graph, wantOut, wantIn [][]uint32) error {
+	for v := uint32(0); v < g.NLoc; v++ {
+		gid := g.GlobalID(v)
+		gotOut := neighborsGlobal(g, g.OutNeighbors(v))
+		if !equalU32(gotOut, wantOut[gid]) {
+			return fmt.Errorf("vertex %d out adjacency %v, oracle %v", gid, gotOut, wantOut[gid])
+		}
+		gotIn := neighborsGlobal(g, g.InNeighbors(v))
+		if !equalU32(gotIn, wantIn[gid]) {
+			return fmt.Errorf("vertex %d in adjacency %v, oracle %v", gid, gotIn, wantIn[gid])
+		}
+		if g.OutDegree(v) != uint64(len(wantOut[gid])) || g.InDegree(v) != uint64(len(wantIn[gid])) {
+			return fmt.Errorf("vertex %d degrees %d/%d, oracle %d/%d",
+				gid, g.OutDegree(v), g.InDegree(v), len(wantOut[gid]), len(wantIn[gid]))
+		}
+	}
+	return nil
+}
+
+// TestDeltaOverlayMatchesRebuild is the structural property battery:
+// after every batch of a random interleaved insert/delete schedule, the
+// merged overlay shard must match both the sequential adjacency oracle
+// and a shard rebuilt from scratch from the mutated edge list — across 1D
+// block, vertex/edge-balanced, and PuLP partitionings, so cut-edge
+// mutations cross every partition shape.
+func TestDeltaOverlayMatchesRebuild(t *testing.T) {
+	const n = 220
+	spec := gen.Spec{Kind: gen.RMAT, NumVertices: n, NumEdges: 1400, Seed: 23}
+	base, err := spec.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches, oracles := mutationSchedule(rand.New(rand.NewSource(5)), n, base, 4, 50)
+
+	for _, p := range []int{1, 2, 3, 4} {
+		for _, kind := range []partition.Kind{partition.VertexBlock, partition.EdgeBlock, partition.PuLPKind} {
+			t.Run(fmt.Sprintf("p=%d/%v", p, kind), func(t *testing.T) {
+				err := comm.RunLocal(p, func(c *comm.Comm) error {
+					ctx := NewCtx(c, 2)
+					src := ListSource{Edges: base}
+					pt, err := MakePartitioner(ctx, src, kind, n, 99)
+					if err != nil {
+						return err
+					}
+					g, _, err := Build(ctx, src, pt)
+					if err != nil {
+						return err
+					}
+					d := NewDelta(g)
+					for bi, batch := range batches {
+						st, err := ApplyBatch(ctx, d, uint64(bi+1), batch)
+						if err != nil {
+							return fmt.Errorf("batch %d: %w", bi, err)
+						}
+						oracle := oracles[bi]
+						if st.MGlobal != uint64(oracle.Len()) {
+							return fmt.Errorf("batch %d: MGlobal %d, oracle %d", bi, st.MGlobal, oracle.Len())
+						}
+						merged, err := MergeDelta(d, st.MGlobal)
+						if err != nil {
+							return fmt.Errorf("batch %d: %w", bi, err)
+						}
+						wantOut, wantIn := globalAdjacency(n, oracle)
+						if err := checkShardAgainstOracle(merged, wantOut, wantIn); err != nil {
+							return fmt.Errorf("batch %d merged: %w", bi, err)
+						}
+						// Rebuild from scratch with the same partitioner and
+						// compare shard to shard.
+						rebuilt, _, err := Build(ctx, ListSource{Edges: oracle}, pt)
+						if err != nil {
+							return fmt.Errorf("batch %d rebuild: %w", bi, err)
+						}
+						if rebuilt.NLoc != merged.NLoc || rebuilt.MOut() != merged.MOut() || rebuilt.MIn() != merged.MIn() {
+							return fmt.Errorf("batch %d: merged NLoc/MOut/MIn %d/%d/%d, rebuilt %d/%d/%d",
+								bi, merged.NLoc, merged.MOut(), merged.MIn(), rebuilt.NLoc, rebuilt.MOut(), rebuilt.MIn())
+						}
+						if err := checkShardAgainstOracle(rebuilt, wantOut, wantIn); err != nil {
+							return fmt.Errorf("batch %d rebuilt: %w", bi, err)
+						}
+					}
+					// Replay of an already-applied batch id must be a no-op.
+					before := d.Stats()
+					if _, err := ApplyBatch(ctx, d, uint64(len(batches)), batches[len(batches)-1]); err != nil {
+						return err
+					}
+					if d.Stats() != before {
+						return fmt.Errorf("replayed batch changed overlay: %+v -> %+v", before, d.Stats())
+					}
+					// The delta log must decode back to exactly the applied frames.
+					frames, err := DecodeDeltaLog(d.Log())
+					if err != nil {
+						return err
+					}
+					if len(frames) != len(batches) {
+						return fmt.Errorf("log has %d frames, want %d", len(frames), len(batches))
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestMergeDeltaEmptyIsIdentity pins that merging an untouched overlay
+// reproduces the base shard's logical structure (and that canonicalizing
+// adjacency preserves the multiset per row).
+func TestMergeDeltaEmptyIsIdentity(t *testing.T) {
+	spec := gen.Spec{Kind: gen.RMAT, NumVertices: 150, NumEdges: 900, Seed: 3}
+	list, err := spec.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = comm.RunLocal(3, func(c *comm.Comm) error {
+		ctx := NewCtx(c, 2)
+		src := ListSource{Edges: list}
+		pt, err := MakePartitioner(ctx, src, partition.VertexBlock, 150, 1)
+		if err != nil {
+			return err
+		}
+		g, _, err := Build(ctx, src, pt)
+		if err != nil {
+			return err
+		}
+		merged, err := MergeDelta(NewDelta(g), g.MGlobal)
+		if err != nil {
+			return err
+		}
+		CanonicalizeAdjacency(g)
+		if err := g.Validate(); err != nil {
+			return fmt.Errorf("canonicalized base invalid: %w", err)
+		}
+		for v := uint32(0); v < g.NLoc; v++ {
+			if !equalU32(neighborsGlobal(g, g.OutNeighbors(v)), neighborsGlobal(merged, merged.OutNeighbors(v))) {
+				return fmt.Errorf("vertex %d out rows differ", g.GlobalID(v))
+			}
+			if !equalU32(neighborsGlobal(g, g.InNeighbors(v)), neighborsGlobal(merged, merged.InNeighbors(v))) {
+				return fmt.Errorf("vertex %d in rows differ", g.GlobalID(v))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

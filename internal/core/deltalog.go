@@ -1,0 +1,140 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/comm"
+)
+
+// Per-rank append-only delta log. The log records every routed mutation a
+// shard has applied since its base CSR was packed, one frame per ingest
+// batch, in the same versioned little-endian conventions as the shard and
+// partitioner codecs: a fixed header, then self-describing fixed-width
+// frames. Replaying the log against the base shard reproduces the overlay
+// exactly; compaction truncates it by packing the overlay into a new base.
+//
+// Layout (all little-endian):
+//
+//	u32 magic "GDLG"   u32 version
+//	frame*: u64 batch id   u32 outCount   u32 inCount
+//	        (outCount+inCount) × { u32 op, u32 src, u32 dst, u32 seq }
+const (
+	deltaLogMagic   = 0x47444c47 // "GDLG"
+	deltaLogVersion = 1
+	deltaLogHeader  = 8
+	deltaFrameHead  = 16
+	deltaRecBytes   = 4 * comm.MutationRecordWords
+)
+
+// DeltaFrame is one decoded log frame: the routed records of one batch.
+type DeltaFrame struct {
+	ID  uint64
+	Out []comm.MutationRecord
+	In  []comm.MutationRecord
+}
+
+func appendRecords(buf []byte, recs []comm.MutationRecord) []byte {
+	for _, r := range recs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Op))
+		buf = binary.LittleEndian.AppendUint32(buf, r.Src)
+		buf = binary.LittleEndian.AppendUint32(buf, r.Dst)
+		buf = binary.LittleEndian.AppendUint32(buf, r.Seq)
+	}
+	return buf
+}
+
+// AppendDeltaFrame appends one batch frame to an encoded log, writing the
+// log header first if the log is empty.
+func AppendDeltaFrame(log []byte, id uint64, out, in []comm.MutationRecord) []byte {
+	if len(log) == 0 {
+		log = binary.LittleEndian.AppendUint32(log, deltaLogMagic)
+		log = binary.LittleEndian.AppendUint32(log, deltaLogVersion)
+	}
+	log = binary.LittleEndian.AppendUint64(log, id)
+	log = binary.LittleEndian.AppendUint32(log, uint32(len(out)))
+	log = binary.LittleEndian.AppendUint32(log, uint32(len(in)))
+	log = appendRecords(log, out)
+	return appendRecords(log, in)
+}
+
+func decodeRecords(body []byte, n uint32) ([]comm.MutationRecord, error) {
+	recs := make([]comm.MutationRecord, n)
+	for i := range recs {
+		w := body[i*deltaRecBytes:]
+		op := binary.LittleEndian.Uint32(w[0:4])
+		if op == 0 || op > 2 {
+			return nil, fmt.Errorf("core: delta record %d has invalid op word %#x", i, op)
+		}
+		recs[i] = comm.MutationRecord{
+			Op:  uint8(op),
+			Src: binary.LittleEndian.Uint32(w[4:8]),
+			Dst: binary.LittleEndian.Uint32(w[8:12]),
+			Seq: binary.LittleEndian.Uint32(w[12:16]),
+		}
+	}
+	return recs, nil
+}
+
+// DecodeDeltaLog parses an encoded delta log. A nil/empty log decodes to
+// no frames. Truncated or corrupt logs — bad magic, unknown versions,
+// torn frames, counts that overrun the buffer, invalid op words,
+// non-ascending batch ids — are rejected with an error, never a panic,
+// and allocation is bounded by the bytes that actually arrived.
+func DecodeDeltaLog(log []byte) ([]DeltaFrame, error) {
+	if len(log) == 0 {
+		return nil, nil
+	}
+	if len(log) < deltaLogHeader {
+		return nil, fmt.Errorf("core: delta log header truncated at %d bytes", len(log))
+	}
+	if m := binary.LittleEndian.Uint32(log[0:4]); m != deltaLogMagic {
+		return nil, fmt.Errorf("core: bad delta log magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint32(log[4:8]); v != deltaLogVersion {
+		return nil, fmt.Errorf("core: unsupported delta log version %d", v)
+	}
+	body := log[deltaLogHeader:]
+	if len(body) == 0 {
+		// The encoder only writes the header together with a first frame;
+		// an empty log is zero bytes, so a bare header is corruption.
+		return nil, fmt.Errorf("core: delta log has header but no frames")
+	}
+	var frames []DeltaFrame
+	lastID := uint64(0)
+	for len(body) > 0 {
+		if len(body) < deltaFrameHead {
+			return nil, fmt.Errorf("core: delta frame header truncated at %d bytes", len(body))
+		}
+		id := binary.LittleEndian.Uint64(body[0:8])
+		nOut := binary.LittleEndian.Uint32(body[8:12])
+		nIn := binary.LittleEndian.Uint32(body[12:16])
+		if id <= lastID {
+			return nil, fmt.Errorf("core: delta frame id %d after %d", id, lastID)
+		}
+		total := uint64(nOut) + uint64(nIn)
+		rest := body[deltaFrameHead:]
+		if uint64(len(rest)) < total*deltaRecBytes {
+			return nil, fmt.Errorf("core: delta frame %d claims %d records in %d bytes", id, total, len(rest))
+		}
+		out, err := decodeRecords(rest, nOut)
+		if err != nil {
+			return nil, fmt.Errorf("core: delta frame %d out side: %w", id, err)
+		}
+		in, err := decodeRecords(rest[uint64(nOut)*deltaRecBytes:], nIn)
+		if err != nil {
+			return nil, fmt.Errorf("core: delta frame %d in side: %w", id, err)
+		}
+		for _, recs := range [2][]comm.MutationRecord{out, in} {
+			for i := 1; i < len(recs); i++ {
+				if recs[i].Seq <= recs[i-1].Seq {
+					return nil, fmt.Errorf("core: delta frame %d has non-ascending seq", id)
+				}
+			}
+		}
+		frames = append(frames, DeltaFrame{ID: id, Out: out, In: in})
+		body = rest[total*deltaRecBytes:]
+		lastID = id
+	}
+	return frames, nil
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+func sampleLog() []byte {
+	out := []comm.MutationRecord{
+		{Op: 1, Src: 1, Dst: 2, Seq: 0},
+		{Op: 2, Src: 3, Dst: 4, Seq: 2},
+	}
+	in := []comm.MutationRecord{{Op: 1, Src: 1, Dst: 2, Seq: 0}}
+	log := AppendDeltaFrame(nil, 1, out, in)
+	return AppendDeltaFrame(log, 2, nil, []comm.MutationRecord{{Op: 2, Src: 9, Dst: 9, Seq: 5}})
+}
+
+func TestDeltaLogRoundTrip(t *testing.T) {
+	log := sampleLog()
+	frames, err := DecodeDeltaLog(log)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(frames) != 2 || frames[0].ID != 1 || frames[1].ID != 2 {
+		t.Fatalf("frames: %+v", frames)
+	}
+	if len(frames[0].Out) != 2 || len(frames[0].In) != 1 || len(frames[1].Out) != 0 || len(frames[1].In) != 1 {
+		t.Fatalf("record counts: %+v", frames)
+	}
+	var again []byte
+	for _, f := range frames {
+		again = AppendDeltaFrame(again, f.ID, f.Out, f.In)
+	}
+	if !bytes.Equal(log, again) {
+		t.Fatal("re-encode is not a fixpoint")
+	}
+	if frames, err := DecodeDeltaLog(nil); err != nil || frames != nil {
+		t.Fatalf("empty log: %v %v", frames, err)
+	}
+}
+
+func TestDeltaLogDecodeRejects(t *testing.T) {
+	log := sampleLog()
+	cases := map[string][]byte{
+		"torn-header":   log[:5],
+		"torn-frame":    log[:len(log)-3],
+		"trailing-junk": append(append([]byte{}, log...), 1, 2, 3),
+	}
+	magic := append([]byte{}, log...)
+	magic[0] ^= 0xff
+	cases["bad-magic"] = magic
+	version := append([]byte{}, log...)
+	version[4] = 9
+	cases["bad-version"] = version
+	lying := append([]byte{}, log...)
+	lying[16] = 0xff // outCount far beyond the buffer
+	cases["lying-count"] = lying
+	for name, buf := range cases {
+		if _, err := DecodeDeltaLog(buf); err == nil {
+			t.Errorf("%s: corrupt log decoded without error", name)
+		}
+	}
+}
+
+// FuzzDeltaLogDecode feeds arbitrary bytes to the delta-log decoder. The
+// contract mirrors FuzzMembershipDecode/FuzzFrameDecode: corrupt or
+// truncated logs produce errors, never panics, allocation stays bounded
+// by the input, and any accepted log re-encodes to the exact input bytes.
+func FuzzDeltaLogDecode(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(sampleLog())
+	f.Add(AppendDeltaFrame(nil, 7, []comm.MutationRecord{{Op: 1, Src: 0, Dst: 0, Seq: 0}}, nil))
+	log := sampleLog()
+	f.Add(log[:9])          // torn frame header
+	f.Add(log[:len(log)-1]) // torn record
+	flip := append([]byte{}, log...)
+	flip[2] ^= 0xff
+	f.Add(flip) // bad magic
+	lie := append([]byte{}, log...)
+	lie[12] = 0x80
+	f.Add(lie) // lying record count
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frames, err := DecodeDeltaLog(data)
+		if err != nil {
+			return
+		}
+		total := 0
+		for _, fr := range frames {
+			total += len(fr.Out) + len(fr.In)
+		}
+		if total*deltaRecBytes > len(data) {
+			t.Fatalf("decoded %d records from %d bytes", total, len(data))
+		}
+		var again []byte
+		for _, fr := range frames {
+			again = AppendDeltaFrame(again, fr.ID, fr.Out, fr.In)
+		}
+		if len(data) == 0 {
+			if len(again) != 0 {
+				t.Fatal("empty log re-encoded non-empty")
+			}
+			return
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatal("re-encode differs from accepted input")
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/edge"
+	"repro/internal/gen"
+	"repro/internal/partition"
+)
+
+// Mutation routing: the streaming analogue of the construction pipeline's
+// two edge shuffles. Every rank takes a contiguous chunk of the ingest
+// batch (the same ChunkRange split ingestion uses), then two Alltoallv
+// exchanges deliver each record to the rank owning its source (out-CSR
+// side) and the rank owning its destination (in-CSR side). Records carry
+// their batch sequence number; chunks are contiguous and segments
+// concatenate in rank order, so receivers observe strictly ascending seq —
+// a free misrouting detector — and apply records in original batch order,
+// which keeps every shard replica's overlay deterministic.
+
+// routeSide routes the chunk [lo, hi) of batch to owner(record).
+func routeSide(c *comm.Comm, batch edge.Batch, lo, hi uint64, owner func(edge.Mutation) int) ([]comm.MutationRecord, error) {
+	p := c.Size()
+	counts := make([]int, p)
+	for i := lo; i < hi; i++ {
+		counts[owner(batch[i])] += comm.MutationRecordWords
+	}
+	offs := make([]int, p)
+	total := 0
+	for d, n := range counts {
+		offs[d] = total
+		total += n
+	}
+	send := make([]uint32, total)
+	for i := lo; i < hi; i++ {
+		m := batch[i]
+		d := owner(m)
+		w := send[offs[d]:]
+		w[0], w[1], w[2], w[3] = uint32(m.Op), m.Src, m.Dst, uint32(i)
+		offs[d] += comm.MutationRecordWords
+	}
+	recv, _, err := comm.Alltoallv(c, send, counts)
+	if err != nil {
+		return nil, err
+	}
+	return comm.UnpackMutationRecords(recv)
+}
+
+// RouteMutations runs the two-sided routing exchange for one batch.
+// It returns the records this rank must apply to its out-CSR (it owns
+// their sources) and to its in-CSR (it owns their destinations). The
+// batch argument must be identical on every rank of the group, like any
+// collective argument.
+func RouteMutations(ctx *Ctx, pt partition.Partitioner, batch edge.Batch) (out, in []comm.MutationRecord, err error) {
+	lo, hi := gen.ChunkRange(uint64(len(batch)), ctx.Rank(), ctx.Size())
+	out, err = routeSide(ctx.Comm, batch, lo, hi, func(m edge.Mutation) int { return pt.Owner(m.Src) })
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: routing out-side mutations: %w", err)
+	}
+	in, err = routeSide(ctx.Comm, batch, lo, hi, func(m edge.Mutation) int { return pt.Owner(m.Dst) })
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: routing in-side mutations: %w", err)
+	}
+	rank := ctx.Rank()
+	for _, r := range out {
+		if pt.Owner(r.Src) != rank {
+			return nil, nil, fmt.Errorf("core: out-side record for vertex %d misrouted to rank %d", r.Src, rank)
+		}
+	}
+	for _, r := range in {
+		if pt.Owner(r.Dst) != rank {
+			return nil, nil, fmt.Errorf("core: in-side record for vertex %d misrouted to rank %d", r.Dst, rank)
+		}
+	}
+	return out, in, nil
+}
+
+// ApplyStats reports one collective batch application.
+type ApplyStats struct {
+	// MGlobal is the post-batch global live edge count.
+	MGlobal uint64
+	// Out and In are the record counts this rank applied per side.
+	Out, In int
+}
+
+// ApplyBatch is the collective ingest step: validate, route, apply to the
+// local overlay, then agree on the new global edge count (and assert the
+// out/in views stayed consistent — the streaming analogue of the
+// construction pipeline's final sanity reduction). The batch and id must
+// be identical on every rank.
+func ApplyBatch(ctx *Ctx, d *Delta, id uint64, batch edge.Batch) (ApplyStats, error) {
+	if len(batch) == 0 || len(batch) > edge.MaxBatch {
+		return ApplyStats{}, fmt.Errorf("core: batch of %d mutations (want 1..%d)", len(batch), edge.MaxBatch)
+	}
+	if err := batch.Validate(d.base.NGlobal); err != nil {
+		return ApplyStats{}, err
+	}
+	out, in, err := RouteMutations(ctx, d.base.Part, batch)
+	if err != nil {
+		return ApplyStats{}, err
+	}
+	if err := d.ApplyRouted(id, out, in); err != nil {
+		return ApplyStats{}, err
+	}
+	mOut, err := comm.Allreduce(ctx.Comm, d.LiveOut(), comm.OpSum)
+	if err != nil {
+		return ApplyStats{}, err
+	}
+	mIn, err := comm.Allreduce(ctx.Comm, d.LiveIn(), comm.OpSum)
+	if err != nil {
+		return ApplyStats{}, err
+	}
+	if mOut != mIn {
+		return ApplyStats{}, fmt.Errorf("core: overlay out/in edge counts diverged: %d vs %d", mOut, mIn)
+	}
+	return ApplyStats{MGlobal: mOut, Out: len(out), In: len(in)}, nil
+}
+
+// FilterRouted computes, without communication, exactly the routed record
+// sets RouteMutations would deliver to the rank owning shard `rank` —
+// the batch already travels whole in the job broadcast, so replica hosts
+// keep their backup overlays current by filtering instead of joining a
+// second exchange.
+func FilterRouted(pt partition.Partitioner, rank int, batch edge.Batch) (out, in []comm.MutationRecord) {
+	for i, m := range batch {
+		rec := comm.MutationRecord{Op: uint8(m.Op), Src: m.Src, Dst: m.Dst, Seq: uint32(i)}
+		if pt.Owner(m.Src) == rank {
+			out = append(out, rec)
+		}
+		if pt.Owner(m.Dst) == rank {
+			in = append(in, rec)
+		}
+	}
+	return out, in
+}

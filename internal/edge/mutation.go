@@ -1,0 +1,182 @@
+// Streaming edge mutations. A Batch is the unit of ingest: an ordered
+// sequence of insert/delete operations against the global edge list. The
+// binary codec mirrors the zero-copy conventions of the shard and
+// partitioner codecs (versioned header, little-endian fixed-width words)
+// so batches can travel through logs and wire frames without reshaping.
+package edge
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Op is a mutation operation. The zero value is invalid so that
+// uninitialized records are rejected by validation rather than silently
+// treated as inserts.
+type Op uint8
+
+const (
+	// OpInsert adds the edge (Src, Dst) if no live copy exists; inserting
+	// an edge that is already present is a no-op.
+	OpInsert Op = 1
+	// OpDelete removes every live copy of the edge (Src, Dst); deleting an
+	// absent edge is a no-op.
+	OpDelete Op = 2
+)
+
+// String names the operation for diagnostics.
+func (op Op) String() string {
+	switch op {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// Valid reports whether op is a defined operation.
+func (op Op) Valid() bool { return op == OpInsert || op == OpDelete }
+
+// Mutation is one directed-edge operation.
+type Mutation struct {
+	Op  Op     `json:"op"`
+	Src uint32 `json:"src"`
+	Dst uint32 `json:"dst"`
+}
+
+// Batch is an ordered mutation sequence. Order matters: a delete followed
+// by an insert of the same edge leaves the edge present, and vice versa.
+type Batch []Mutation
+
+// Validate checks every record: defined op and endpoints below n.
+func (b Batch) Validate(n uint32) error {
+	for i, m := range b {
+		if !m.Op.Valid() {
+			return fmt.Errorf("edge: mutation %d has invalid op %d", i, uint8(m.Op))
+		}
+		if m.Src >= n || m.Dst >= n {
+			return fmt.Errorf("edge: mutation %d endpoint (%d,%d) exceeds vertex count %d", i, m.Src, m.Dst, n)
+		}
+	}
+	return nil
+}
+
+// ApplyTo is the sequential oracle for mutation semantics: it applies the
+// batch to a global edge list and returns the mutated list. Inserts append
+// the edge only if no live copy exists; deletes remove every live copy.
+// Surviving base edges keep their original order; inserted edges append in
+// application order. Differential tests rebuild shards from this list and
+// demand byte-identical analytics against the distributed overlay.
+func (b Batch) ApplyTo(l List) List {
+	type key struct{ src, dst uint32 }
+	count := make(map[key]int, l.Len())
+	for i := 0; i < l.Len(); i++ {
+		count[key{l.Src(i), l.Dst(i)}]++
+	}
+	dead := make(map[key]bool)
+	var added []Mutation
+	for _, m := range b {
+		k := key{m.Src, m.Dst}
+		switch m.Op {
+		case OpInsert:
+			if count[k] > 0 {
+				continue
+			}
+			count[k] = 1
+			added = append(added, m)
+		case OpDelete:
+			if count[k] == 0 {
+				continue
+			}
+			count[k] = 0
+			dead[k] = true
+		}
+	}
+	out := Make(l.Len())
+	for i := 0; i < l.Len(); i++ {
+		k := key{l.Src(i), l.Dst(i)}
+		if dead[k] {
+			continue
+		}
+		out.Push(k.src, k.dst)
+	}
+	for _, m := range added {
+		// An insert/delete churn within the batch can enqueue the same key
+		// more than once; at most one copy is live (count is 0 or 1), so
+		// consume the count when pushing.
+		k := key{m.Src, m.Dst}
+		if count[k] > 0 {
+			out.Push(m.Src, m.Dst)
+			count[k] = 0
+		}
+	}
+	return out
+}
+
+// Binary batch codec. Layout (all little-endian):
+//
+//	u32 magic "GMUT"   u32 version   u32 count
+//	count × { u32 op, u32 src, u32 dst }
+const (
+	batchMagic   = 0x474d5554 // "GMUT"
+	batchVersion = 1
+	// MaxBatch bounds one ingest batch; it also caps decoder allocation so
+	// corrupt headers cannot demand absurd memory.
+	MaxBatch = 1 << 20
+	batchRec = 12
+)
+
+// EncodeBatch serializes a batch.
+func EncodeBatch(b Batch) ([]byte, error) {
+	if len(b) > MaxBatch {
+		return nil, fmt.Errorf("edge: batch of %d mutations exceeds limit %d", len(b), MaxBatch)
+	}
+	buf := make([]byte, 0, 12+batchRec*len(b))
+	buf = binary.LittleEndian.AppendUint32(buf, batchMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, batchVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b)))
+	for _, m := range b {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Op))
+		buf = binary.LittleEndian.AppendUint32(buf, m.Src)
+		buf = binary.LittleEndian.AppendUint32(buf, m.Dst)
+	}
+	return buf, nil
+}
+
+// DecodeBatch parses an encoded batch, rejecting truncated or corrupt
+// payloads with an error (never a panic).
+func DecodeBatch(buf []byte) (Batch, error) {
+	if len(buf) < 12 {
+		return nil, fmt.Errorf("edge: batch header truncated at %d bytes", len(buf))
+	}
+	if m := binary.LittleEndian.Uint32(buf[0:4]); m != batchMagic {
+		return nil, fmt.Errorf("edge: bad batch magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:8]); v != batchVersion {
+		return nil, fmt.Errorf("edge: unsupported batch version %d", v)
+	}
+	n := binary.LittleEndian.Uint32(buf[8:12])
+	if n > MaxBatch {
+		return nil, fmt.Errorf("edge: batch count %d exceeds limit %d", n, MaxBatch)
+	}
+	body := buf[12:]
+	if len(body) != int(n)*batchRec {
+		return nil, fmt.Errorf("edge: batch body is %d bytes, want %d for %d mutations", len(body), int(n)*batchRec, n)
+	}
+	b := make(Batch, n)
+	for i := range b {
+		rec := body[i*batchRec:]
+		op := binary.LittleEndian.Uint32(rec[0:4])
+		if op > 0xff || !Op(op).Valid() {
+			return nil, fmt.Errorf("edge: mutation %d has invalid op word %#x", i, op)
+		}
+		b[i] = Mutation{
+			Op:  Op(op),
+			Src: binary.LittleEndian.Uint32(rec[4:8]),
+			Dst: binary.LittleEndian.Uint32(rec[8:12]),
+		}
+	}
+	return b, nil
+}

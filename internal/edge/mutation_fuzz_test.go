@@ -1,0 +1,56 @@
+package edge
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzMutationBatchDecode feeds arbitrary bytes to the batch decoder. The
+// contract: DecodeBatch returns an error on anything malformed — truncated
+// headers, bad magic, lying counts, invalid op words — and never panics.
+// On success, re-encoding the decoded batch must reproduce the input
+// exactly (the codec is a bijection on its image).
+func FuzzMutationBatchDecode(f *testing.F) {
+	add := func(b Batch) {
+		buf, err := EncodeBatch(b)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	add(nil)
+	add(Batch{{Op: OpInsert, Src: 1, Dst: 2}})
+	add(Batch{
+		{Op: OpInsert, Src: 0, Dst: 0},
+		{Op: OpDelete, Src: 7, Dst: 9},
+		{Op: OpInsert, Src: ^uint32(0), Dst: 1 << 20},
+	})
+	good, _ := EncodeBatch(Batch{{Op: OpDelete, Src: 5, Dst: 6}})
+	f.Add(good[:7])           // truncated header
+	f.Add(good[:len(good)-3]) // torn record
+	flipped := append([]byte{}, good...)
+	flipped[1] ^= 0xff // bad magic
+	f.Add(flipped)
+	lying := append([]byte{}, good...)
+	lying[8] = 200 // count >> actual records
+	f.Add(lying)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBatch(data)
+		if err != nil {
+			return
+		}
+		for i, m := range b {
+			if !m.Op.Valid() {
+				t.Fatalf("decoded mutation %d has invalid op %d", i, m.Op)
+			}
+		}
+		again, err := EncodeBatch(b)
+		if err != nil {
+			t.Fatalf("re-encoding decoded batch: %v", err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatalf("re-encode differs from accepted input")
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package edge
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	cases := []Batch{
+		nil,
+		{{Op: OpInsert, Src: 0, Dst: 0}},
+		{
+			{Op: OpInsert, Src: 1, Dst: 2},
+			{Op: OpDelete, Src: 2, Dst: 1},
+			{Op: OpInsert, Src: 1 << 30, Dst: ^uint32(0)},
+		},
+	}
+	for _, b := range cases {
+		buf, err := EncodeBatch(b)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := DecodeBatch(buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(got) != len(b) {
+			t.Fatalf("round trip length %d, want %d", len(got), len(b))
+		}
+		for i := range b {
+			if got[i] != b[i] {
+				t.Fatalf("record %d: got %+v want %+v", i, got[i], b[i])
+			}
+		}
+		again, err := EncodeBatch(got)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(buf, again) {
+			t.Fatalf("re-encode is not a fixpoint")
+		}
+	}
+}
+
+func TestBatchDecodeRejects(t *testing.T) {
+	good, err := EncodeBatch(Batch{{Op: OpInsert, Src: 3, Dst: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]byte{
+		nil,
+		good[:5],                             // truncated header
+		good[:len(good)-1],                   // truncated body
+		append(append([]byte{}, good...), 0), // trailing junk
+	}
+	corruptMagic := append([]byte{}, good...)
+	corruptMagic[0] ^= 0xff
+	bad = append(bad, corruptMagic)
+	badVersion := append([]byte{}, good...)
+	badVersion[4] = 99
+	bad = append(bad, badVersion)
+	badOp := append([]byte{}, good...)
+	badOp[12] = 7 // invalid op word
+	bad = append(bad, badOp)
+	for i, buf := range bad {
+		if _, err := DecodeBatch(buf); err == nil {
+			t.Errorf("case %d: corrupt batch decoded without error", i)
+		}
+	}
+}
+
+func TestBatchValidate(t *testing.T) {
+	b := Batch{{Op: OpInsert, Src: 1, Dst: 9}}
+	if err := b.Validate(10); err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+	if err := b.Validate(9); err == nil {
+		t.Fatal("endpoint at n accepted")
+	}
+	if err := (Batch{{Src: 1, Dst: 2}}).Validate(10); err == nil {
+		t.Fatal("zero op accepted")
+	}
+}
+
+// TestApplyToSemantics pins the oracle: insert-if-absent, delete-all-copies,
+// order-sensitive re-inserts.
+func TestApplyToSemantics(t *testing.T) {
+	base := List{0, 1, 0, 1, 1, 2} // (0,1) twice, (1,2)
+	got := Batch{
+		{Op: OpInsert, Src: 0, Dst: 1}, // no-op: already present
+		{Op: OpInsert, Src: 2, Dst: 0}, // new edge
+		{Op: OpInsert, Src: 2, Dst: 0}, // duplicate insert: no-op
+		{Op: OpDelete, Src: 0, Dst: 1}, // removes both copies
+		{Op: OpDelete, Src: 3, Dst: 3}, // delete of missing edge: no-op
+		{Op: OpInsert, Src: 0, Dst: 1}, // re-insert after delete
+		{Op: OpDelete, Src: 2, Dst: 0}, // delete the earlier insert
+	}.ApplyTo(base)
+	want := List{1, 2, 0, 1}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	// Self-loops round-trip through delete/insert too.
+	looped := Batch{{Op: OpInsert, Src: 4, Dst: 4}}.ApplyTo(got)
+	if looped.Len() != got.Len()+1 {
+		t.Fatalf("self-loop insert failed: %v", looped)
+	}
+}

@@ -1,0 +1,269 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/core"
+	"repro/internal/edge"
+	"repro/internal/gen"
+	"repro/internal/partition"
+	"repro/internal/serve"
+)
+
+// Ingest benchmarks the streaming-mutation tier beyond the paper: the
+// resident cluster absorbs a stream of edge insert/delete batches through
+// the same serialized job stream that answers queries, then compacts the
+// accumulated overlay into a new packed CSR epoch. The row records the
+// ingest throughput, the query latency on the delta overlay (the first
+// post-mutation query pays the merge), the compaction wall time (merge +
+// swap, queries keep flowing), and the latency once the swap restored a
+// packed base. With Config.BenchPath set the measurements are written as
+// BENCH_8.json so the trajectory is tracked across PRs.
+
+// ingestBatchCount is the number of mutate batches the stream drives.
+const ingestBatchCount = 12
+
+// IngestEntry is one rank-count measurement: the JSON row of BENCH_8.json.
+type IngestEntry struct {
+	Graph string `json:"graph"`
+	Ranks int    `json:"ranks"`
+	// Batches and BatchRecords shape the stream: Batches acknowledged
+	// batches of BatchRecords mutation records each.
+	Batches      int `json:"batches"`
+	BatchRecords int `json:"batch_records"`
+	// IngestSecs is the wall time from first submit to last acknowledgment.
+	IngestSecs    float64 `json:"ingest_seconds"`
+	RecordsPerSec float64 `json:"records_per_second"`
+	// BaseQueryMs, OverlayQueryMs, and PackedQueryMs are one BFS probe's
+	// latency on the pristine base, on the mutation overlay (first query
+	// after the stream: pays the merge), and after compaction swapped a
+	// packed CSR back in.
+	BaseQueryMs    float64 `json:"base_query_ms"`
+	OverlayQueryMs float64 `json:"overlay_query_ms"`
+	PackedQueryMs  float64 `json:"packed_query_ms"`
+	// CompactSecs is the Compact() wall time: background materialization
+	// of every shard plus the swap job.
+	CompactSecs float64 `json:"compact_seconds"`
+	// Edges and Epoch are the post-stream live edge count and graph epoch —
+	// recorded so the artifact is self-checking.
+	Edges uint64 `json:"edges"`
+	Epoch uint64 `json:"epoch"`
+}
+
+// IngestBench is the BENCH_8.json document.
+type IngestBench struct {
+	Experiment string        `json:"experiment"`
+	Scale      float64       `json:"scale"`
+	Seed       uint64        `json:"seed"`
+	Entries    []IngestEntry `json:"entries"`
+}
+
+// ingestStream builds the seeded batch stream: inserts of fresh random
+// edges mixed with deletes drawn from the base list, so deletions tombstone
+// real CSR positions instead of no-op'ing on absent edges.
+func ingestStream(seed uint64, n uint32, base edge.List, batches, perBatch int) []edge.Batch {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	out := make([]edge.Batch, 0, batches)
+	for b := 0; b < batches; b++ {
+		batch := make(edge.Batch, 0, perBatch)
+		for len(batch) < perBatch {
+			if rng.Intn(5) < 3 {
+				batch = append(batch, edge.Mutation{
+					Op:  edge.OpInsert,
+					Src: uint32(rng.Intn(int(n))),
+					Dst: uint32(rng.Intn(int(n))),
+				})
+			} else {
+				i := rng.Intn(base.Len())
+				batch = append(batch, edge.Mutation{Op: edge.OpDelete, Src: base.Src(i), Dst: base.Dst(i)})
+			}
+		}
+		out = append(out, batch)
+	}
+	return out
+}
+
+// ingestProbe runs one synchronous BFS probe and returns its latency.
+func ingestProbe(s *serve.Scheduler) (time.Duration, error) {
+	job := &analytics.Job{Analytic: analytics.JobBFS, Sources: []uint32{1}}
+	start := time.Now()
+	id, err := s.Submit(job, time.Now().Add(5*time.Minute))
+	if err != nil {
+		return 0, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	v, ok := s.Wait(ctx, id)
+	if !ok {
+		return 0, fmt.Errorf("ingest probe: job %s vanished", id)
+	}
+	if v.State != serve.StateDone {
+		return 0, fmt.Errorf("ingest probe: state %s (%s)", v.State, v.Err)
+	}
+	return time.Since(start), nil
+}
+
+// IngestRaw drives the stream on p ranks and returns the measurement.
+func IngestRaw(cfg Config, p int, graphName string, spec gen.Spec) (IngestEntry, error) {
+	e := IngestEntry{Graph: graphName, Ranks: p, Batches: ingestBatchCount}
+	base, err := spec.GenerateAll()
+	if err != nil {
+		return e, err
+	}
+	perBatch := int(cfg.scaled(2048, 256))
+	e.BatchRecords = perBatch
+	// One extra batch beyond the timed stream: it lands after the overlay
+	// probe (which materializes and caches the merge), so the compaction
+	// that follows pays a fresh materialization — CompactSecs measures
+	// merge + swap, not just the pointer swap.
+	stream := ingestStream(cfg.Seed^0x16e57, spec.NumVertices, base, ingestBatchCount+1, perBatch)
+
+	cl, err := serve.NewCluster(serve.ClusterConfig{
+		Ranks:       p,
+		Threads:     cfg.Threads,
+		Source:      core.ListSource{Edges: base},
+		Partition:   partition.Random,
+		Seed:        cfg.Seed,
+		Trace:       cfg.Trace,
+		Epoch:       1,
+		NumVertices: spec.NumVertices,
+	})
+	if err != nil {
+		return e, err
+	}
+	defer cl.Close()
+	s := serve.NewScheduler(cl, serve.SchedConfig{QueueCap: ingestBatchCount + 4, BatchMax: 1, CacheCap: 8})
+	s.Start()
+	defer s.Close()
+
+	if d, err := ingestProbe(s); err != nil {
+		return e, err
+	} else {
+		e.BaseQueryMs = float64(d.Microseconds()) / 1e3
+	}
+
+	deadline := time.Now().Add(5 * time.Minute)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	mutate := func(bi int, batch edge.Batch) error {
+		job := &analytics.Job{Analytic: analytics.JobMutate, Mutations: batch}
+		id, err := s.Submit(job, deadline)
+		if err != nil {
+			return fmt.Errorf("ingest batch %d: %w", bi, err)
+		}
+		v, ok := s.Wait(ctx, id)
+		if !ok {
+			return fmt.Errorf("ingest batch %d: job %s vanished", bi, id)
+		}
+		if v.State != serve.StateDone {
+			return fmt.Errorf("ingest batch %d: state %s (%s)", bi, v.State, v.Err)
+		}
+		return nil
+	}
+	start := time.Now()
+	for bi, batch := range stream[:ingestBatchCount] {
+		if err := mutate(bi, batch); err != nil {
+			return e, err
+		}
+	}
+	ingestWall := time.Since(start)
+	e.IngestSecs = ingestWall.Seconds()
+	e.RecordsPerSec = float64(ingestBatchCount*perBatch) / ingestWall.Seconds()
+
+	if d, err := ingestProbe(s); err != nil {
+		return e, err
+	} else {
+		e.OverlayQueryMs = float64(d.Microseconds()) / 1e3
+	}
+
+	// The post-probe batch invalidates the probe's cached merge; see the
+	// stream construction comment.
+	if err := mutate(ingestBatchCount, stream[ingestBatchCount]); err != nil {
+		return e, err
+	}
+	start = time.Now()
+	res, err := cl.Compact()
+	if err != nil {
+		return e, err
+	}
+	if !res.Compacted {
+		return e, fmt.Errorf("ingest: compaction did not swap (%+v)", res)
+	}
+	e.CompactSecs = time.Since(start).Seconds()
+
+	if d, err := ingestProbe(s); err != nil {
+		return e, err
+	} else {
+		e.PackedQueryMs = float64(d.Microseconds()) / 1e3
+	}
+	e.Edges = cl.NumEdges()
+	e.Epoch = cl.Epoch()
+	return e, nil
+}
+
+// ingestRanks picks the sweep's rank counts: the largest configured count
+// and (when it exists) the 4-rank midpoint, both at least 2 so the routing
+// exchanges actually cross rank boundaries.
+func ingestRanks(cfg Config) []int {
+	hi := cfg.maxRanks()
+	if hi < 2 {
+		hi = 2
+	}
+	if hi > 4 {
+		return []int{4, hi}
+	}
+	return []int{hi}
+}
+
+// Ingest is the registry entry point: the rendered ingest table, plus the
+// BENCH_8.json artifact when cfg.BenchPath is set.
+func Ingest(cfg Config) (*Report, error) {
+	bench := &IngestBench{Experiment: "ingest", Scale: cfg.Scale, Seed: cfg.Seed}
+	r := &Report{
+		ID:     "Ingest",
+		Title:  "Streaming edge mutations: ingest throughput and compaction epoch swap",
+		Header: []string{"Graph", "Ranks", "Batches", "Records", "Ingest (s)", "Records/s", "BFS base (ms)", "BFS overlay (ms)", "Compact (s)", "BFS packed (ms)", "Edges", "Epoch"},
+	}
+	spec := cfg.wcSim()
+	for _, p := range ingestRanks(cfg) {
+		e, err := IngestRaw(cfg, p, "wc-rmat", spec)
+		if err != nil {
+			return nil, err
+		}
+		bench.Entries = append(bench.Entries, e)
+		r.Rows = append(r.Rows, []string{
+			e.Graph, fmt.Sprintf("%d", e.Ranks),
+			fmt.Sprintf("%d", e.Batches),
+			fmt.Sprintf("%d", e.Batches*e.BatchRecords),
+			fmt.Sprintf("%.3f", e.IngestSecs),
+			fmt.Sprintf("%.0f", e.RecordsPerSec),
+			fmt.Sprintf("%.2f", e.BaseQueryMs),
+			fmt.Sprintf("%.2f", e.OverlayQueryMs),
+			fmt.Sprintf("%.3f", e.CompactSecs),
+			fmt.Sprintf("%.2f", e.PackedQueryMs),
+			fmt.Sprintf("%d", e.Edges),
+			fmt.Sprintf("%d", e.Epoch),
+		})
+	}
+	r.Notes = append(r.Notes,
+		"each batch is routed to owners by two Alltoallv exchanges and applied to append-only delta overlays; the ack epoch keys the result cache, so no query ever sees a stale cached answer",
+		"the overlay probe pays the base+delta merge once; compaction moves that merge off the query path and the packed probe is back at base speed",
+		"compaction runs while queries keep flowing: the old epoch serves until the swap job lands in the serialized stream")
+	if cfg.BenchPath != "" {
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(cfg.BenchPath, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		r.Notes = append(r.Notes, fmt.Sprintf("benchmark JSON written to %s", cfg.BenchPath))
+	}
+	return r, nil
+}

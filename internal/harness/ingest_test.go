@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestIngestBenchArtifact is the benchmark smoke pin CI runs: the ingest
+// experiment streams its batches, compacts, and writes a parseable
+// BENCH_8.json whose entries are self-consistent — positive throughput, a
+// post-stream epoch past the seed epoch (every batch and the swap each
+// advance it), and a live edge count.
+func TestIngestBenchArtifact(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.BenchPath = filepath.Join(t.TempDir(), "BENCH_8.json")
+	rep, err := Ingest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(ingestRanks(cfg))
+	if len(rep.Rows) != wantRows {
+		t.Fatalf("%d rows, want %d", len(rep.Rows), wantRows)
+	}
+	data, err := os.ReadFile(cfg.BenchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b IngestBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Experiment != "ingest" || len(b.Entries) != wantRows {
+		t.Fatalf("artifact experiment %q with %d entries, want ingest with %d", b.Experiment, len(b.Entries), wantRows)
+	}
+	for _, e := range b.Entries {
+		if e.IngestSecs <= 0 || e.RecordsPerSec <= 0 {
+			t.Fatalf("entry ranks=%d has degenerate throughput: %+v", e.Ranks, e)
+		}
+		if e.CompactSecs <= 0 {
+			t.Fatalf("entry ranks=%d recorded no compaction time: %+v", e.Ranks, e)
+		}
+		if e.Edges == 0 {
+			t.Fatalf("entry ranks=%d reports zero live edges", e.Ranks)
+		}
+		// Seed epoch 1, one bump per batch (the timed stream plus the
+		// post-probe batch), one for the swap.
+		if want := uint64(1 + e.Batches + 2); e.Epoch != want {
+			t.Fatalf("entry ranks=%d epoch %d, want %d", e.Ranks, e.Epoch, want)
+		}
+		if e.BaseQueryMs <= 0 || e.OverlayQueryMs <= 0 || e.PackedQueryMs <= 0 {
+			t.Fatalf("entry ranks=%d has degenerate probe latencies: %+v", e.Ranks, e)
+		}
+	}
+}

@@ -36,6 +36,7 @@ func Experiments() []Experiment {
 		{"serve", Serve},
 		{"hybrid", Hybrid},
 		{"delta", Delta},
+		{"ingest", Ingest},
 	}
 }
 

@@ -63,9 +63,25 @@ type ClusterConfig struct {
 	// Trace, when non-nil, collects per-rank spans from the resident
 	// ranks across all jobs.
 	Trace *obs.TraceSet
-	// Epoch identifies the resident graph build generation in result-cache
-	// keys; bump it when the same daemon reloads a new graph.
+	// Epoch is the initial graph epoch in result-cache keys; bump it when
+	// the same daemon reloads a new graph. Every acknowledged mutation
+	// batch and every full compaction advances the live epoch from here.
 	Epoch uint64
+	// NumVertices, when positive, widens the vertex space beyond what the
+	// source's edges span (isolated trailing vertices). The differential
+	// rebuild battery needs it: a rebuild from a mutated edge list must
+	// keep the original cluster's vertex count even when mutations deleted
+	// every edge touching the max vertex id.
+	NumVertices uint32
+	// Canonical, when set, puts the built shards in canonical adjacency
+	// order (sorted by neighbor global id — the order MergeDelta always
+	// produces), so results are bitwise comparable against a cluster that
+	// reached the same logical graph through mutations.
+	Canonical bool
+	// AutoCompact, when positive, triggers a background compaction after
+	// every AutoCompact acknowledged mutation batches. 0 disables
+	// auto-compaction (compaction still available through Compact).
+	AutoCompact int
 	// Replicas is how many hosts hold each shard (0 or 1 = no
 	// replication). With k replicas the cluster survives any host losses
 	// that leave every shard at least one live replica.
@@ -115,10 +131,11 @@ type pending struct {
 }
 
 // hostState is one replica-holding host: whether it is still in the group
-// and which shards it holds (its own plus the backups replicated to it).
+// and which shard replicas it holds (its own plus the backups replicated
+// to it), each wrapped in a mutable shardState (base CSR + overlay).
 type hostState struct {
 	alive  bool
-	shards map[int]*core.Graph
+	shards map[int]*shardState
 }
 
 // Cluster is a resident rank group: compute slots (one per shard) served
@@ -131,11 +148,26 @@ type hostState struct {
 type Cluster struct {
 	size     int // compute slots == shards
 	replicas int
-	epoch    uint64
 	n        uint32
-	m        uint64
 	builtIn  time.Duration
 	start    time.Time
+
+	// epoch identifies the logical graph snapshot result-cache keys and
+	// /v1/stats report; every acknowledged mutate batch and every full
+	// compaction swap advances it. m tracks the live global edge count.
+	// Both are written inside mutate/compact jobs while stats handlers
+	// read them, hence atomics.
+	epoch atomic.Uint64
+	m     atomic.Uint64
+
+	// Streaming-ingest counters and auto-compaction plumbing (mutate.go).
+	nextMutID     atomic.Uint64
+	ingestBatches atomic.Uint64
+	ingestRecords atomic.Uint64
+	compactions   atomic.Uint64
+	sinceCompact  atomic.Uint64
+	autoCompact   int
+	compactReq    chan struct{}
 
 	placement *partition.Placement
 	failover  *obs.FailoverCounters
@@ -187,21 +219,26 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	cl := &Cluster{
-		size:      cfg.Ranks,
-		replicas:  k,
-		epoch:     cfg.Epoch,
-		start:     time.Now(),
-		placement: pl,
-		failover:  &obs.FailoverCounters{},
-		submit:    make(chan *pending),
-		quit:      make(chan struct{}),
-		dead:      make(chan struct{}),
-		hosts:     make([]*hostState, cfg.Ranks),
+		size:        cfg.Ranks,
+		replicas:    k,
+		start:       time.Now(),
+		placement:   pl,
+		failover:    &obs.FailoverCounters{},
+		submit:      make(chan *pending),
+		quit:        make(chan struct{}),
+		dead:        make(chan struct{}),
+		hosts:       make([]*hostState, cfg.Ranks),
+		autoCompact: cfg.AutoCompact,
+		compactReq:  make(chan struct{}, 1),
 	}
+	cl.epoch.Store(cfg.Epoch)
 	for h := range cl.hosts {
-		cl.hosts[h] = &hostState{alive: true, shards: make(map[int]*core.Graph)}
+		cl.hosts[h] = &hostState{alive: true, shards: make(map[int]*shardState)}
 	}
 	cfg.Trace.Ensure(cfg.Ranks)
+	if cfg.AutoCompact > 0 {
+		go cl.compactManager()
+	}
 
 	built := make(chan error, cfg.Ranks)
 	go cl.supervise(cfg, built)
@@ -225,8 +262,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 // rankLoop is the rank-side dispatch loop: receive a job via the command
 // broadcast, run it, loop. Rank 0 additionally feeds the broadcast from the
 // submit channel and reports each job's outcome. All ranks leave together
-// when a shutdown descriptor is broadcast.
-func (cl *Cluster) rankLoop(ctx *core.Ctx, g *core.Graph) error {
+// when a shutdown descriptor is broadcast. Queries traverse the slot's
+// served graph (base, or the materialized overlay after mutations);
+// mutate and compact descriptors are intercepted before analytics.Run and
+// alter the slot's shard replica — plus the host's unserved backups —
+// in the same serialized job stream.
+func (cl *Cluster) rankLoop(ctx *core.Ctx, sc *slotState) error {
 	c := ctx.Comm
 	rank := c.Rank()
 	for {
@@ -271,8 +312,9 @@ func (cl *Cluster) rankLoop(ctx *core.Ctx, g *core.Graph) error {
 		// Rank-side admission check. Validate is deterministic on the
 		// broadcast descriptor, so every rank takes the same branch and
 		// an invalid job skips the run without desynchronizing the group
-		// (and without killing the resident cluster).
-		if err := job.Validate(g.NGlobal); err != nil {
+		// (and without killing the resident cluster). The vertex space is
+		// immutable under mutations, so NGlobal is safe to read unlocked.
+		if err := job.Validate(sc.state.nGlobal); err != nil {
 			if p != nil {
 				p.resp <- outcome{err: err}
 			}
@@ -283,7 +325,19 @@ func (cl *Cluster) rankLoop(ctx *core.Ctx, g *core.Graph) error {
 		// breakdown and the attached obs counters, so two identical jobs
 		// on the resident cluster report identical volumes.
 		c.ResetStats()
-		res, runErr := analytics.Run(ctx, g, job)
+		var res *analytics.JobResult
+		var runErr error
+		switch job.Analytic {
+		case analytics.JobMutate:
+			res, runErr = cl.runMutate(ctx, sc, job)
+		case analytics.JobCompact:
+			res, runErr = cl.runCompact(ctx, sc, job)
+		default:
+			var g *core.Graph
+			if g, runErr = sc.state.serveGraph(); runErr == nil {
+				res, runErr = analytics.Run(ctx, g, job)
+			}
+		}
 		stats := c.TakeStats()
 		if runErr != nil {
 			if p != nil {
@@ -327,6 +381,13 @@ var ErrShardLost = errors.New("serve: shard lost all replicas")
 // live generation's rank 0, so a job queued while the group re-forms is
 // simply picked up by the next generation.
 func (cl *Cluster) Run(job *analytics.Job) (*analytics.JobResult, JobStats, error) {
+	if job.Analytic == analytics.JobMutate && job.MutationID == 0 {
+		// Direct callers get an id here; the scheduler assigns one at
+		// dispatch time so ids ascend in application order even across
+		// requeues. Concurrent direct mutate submission is the caller's
+		// ordering responsibility.
+		job.MutationID = cl.NextMutationID()
+	}
 	n := cl.active.Add(1)
 	for {
 		max := cl.maxActive.Load()
@@ -431,14 +492,18 @@ func (cl *Cluster) AliveHosts() int {
 // FailoverStats snapshots the failover counters.
 func (cl *Cluster) FailoverStats() obs.FailoverSnapshot { return cl.failover.Snapshot() }
 
-// Epoch returns the graph build generation used in cache keys.
-func (cl *Cluster) Epoch() uint64 { return cl.epoch }
+// Epoch returns the logical graph snapshot id used in cache keys. It
+// advances on every acknowledged mutation batch and every full compaction
+// swap; the read is atomic so stats and cache-key construction never see
+// a torn value mid-swap.
+func (cl *Cluster) Epoch() uint64 { return cl.epoch.Load() }
 
 // NumVertices and NumEdges describe the resident graph.
 func (cl *Cluster) NumVertices() uint32 { return cl.n }
 
-// NumEdges returns the resident graph's global directed edge count.
-func (cl *Cluster) NumEdges() uint64 { return cl.m }
+// NumEdges returns the resident graph's global directed live edge count
+// (kept current by mutate jobs).
+func (cl *Cluster) NumEdges() uint64 { return cl.m.Load() }
 
 // BuildTime reports how long the one-time load+partition+convert took.
 func (cl *Cluster) BuildTime() time.Duration { return cl.builtIn }

@@ -264,39 +264,76 @@ func (cl *Cluster) slotMain(cfg ClusterConfig, gen uint64, viewBytes []byte, c *
 	// same group size on fewer cores.
 	ctx := core.NewCtx(c, splitThreads(cfg.Threads, view.Collocated(int32(host))))
 
-	var g *core.Graph
+	var st *shardState
 	if gen == 0 {
 		n, err := core.ScanNumVertices(ctx, cfg.Source)
 		if err != nil {
 			return buildFail(err)
 		}
+		if cfg.NumVertices > n {
+			n = cfg.NumVertices
+		}
 		pt, err := core.MakePartitioner(ctx, cfg.Source, cfg.Partition, n, cfg.Seed)
 		if err != nil {
 			return buildFail(err)
 		}
-		g, _, err = core.Build(ctx, cfg.Source, pt)
+		g, _, err := core.Build(ctx, cfg.Source, pt)
 		if err != nil {
 			return buildFail(err)
+		}
+		if cfg.Canonical {
+			core.CanonicalizeAdjacency(g)
 		}
 		backups, err := cl.replicateShards(ctx, g)
 		if err != nil {
 			return buildFail(fmt.Errorf("serve: replicating shard %d: %w", slot, err))
 		}
-		cl.storeShards(slot, g, backups)
+		st = cl.storeShards(slot, g, backups)
 		if slot == 0 {
 			cl.n = g.NGlobal
-			cl.m = g.MGlobal
+			cl.m.Store(g.MGlobal)
 			cl.builtIn = time.Since(cl.start)
 		}
 		cl.buildOK.Add(1)
 		built <- nil
 	} else {
-		g = cl.shardFor(host, slot)
-		if g == nil {
+		st = cl.shardFor(host, slot)
+		if st == nil {
 			return fmt.Errorf("serve: host %d holds no replica of shard %d", host, slot)
 		}
 	}
-	return cl.rankLoop(ctx, g)
+	sc := &slotState{state: st}
+	// The host's lowest slot in this view filter-applies every mutate batch
+	// to the host's unserved backup replicas, so a later promotion serves a
+	// shard that never missed a batch.
+	if lowestSlotOf(view, host) == slot {
+		sc.backups = cl.unservedBackups(view, host)
+	}
+	return cl.rankLoop(ctx, sc)
+}
+
+// lowestSlotOf returns the smallest slot index the view assigns to host.
+func lowestSlotOf(view *comm.Membership, host int) int {
+	for s, h := range view.Slots {
+		if int(h) == host {
+			return s
+		}
+	}
+	return -1
+}
+
+// unservedBackups lists host's shard replicas that no slot of the view
+// serves from this host — the backups a mutate must keep current.
+func (cl *Cluster) unservedBackups(view *comm.Membership, host int) []backupRef {
+	cl.hostMu.Lock()
+	defer cl.hostMu.Unlock()
+	var out []backupRef
+	for s, st := range cl.hosts[host].shards {
+		if int(view.Slots[s]) != host {
+			out = append(out, backupRef{shard: s, st: st})
+		}
+	}
+	return out
 }
 
 // splitThreads divides a host's worker budget across its collocated slots.
@@ -360,19 +397,22 @@ func (cl *Cluster) replicateShards(ctx *core.Ctx, g *core.Graph) (map[int]*core.
 	return out, nil
 }
 
-// storeShards records a host's primary shard and received backups.
-func (cl *Cluster) storeShards(host int, primary *core.Graph, backups map[int]*core.Graph) {
+// storeShards records a host's primary shard and received backups, each
+// wrapped in a fresh overlay state, and returns the primary's state.
+func (cl *Cluster) storeShards(host int, primary *core.Graph, backups map[int]*core.Graph) *shardState {
 	cl.hostMu.Lock()
 	defer cl.hostMu.Unlock()
 	hs := cl.hosts[host]
-	hs.shards[host] = primary // slot index == shard index == gen-0 host
+	st := newShardState(primary)
+	hs.shards[host] = st // slot index == shard index == gen-0 host
 	for s, g := range backups {
-		hs.shards[s] = g
+		hs.shards[s] = newShardState(g)
 	}
+	return st
 }
 
-// shardFor returns host's replica of shard s, or nil.
-func (cl *Cluster) shardFor(host, s int) *core.Graph {
+// shardFor returns host's replica state of shard s, or nil.
+func (cl *Cluster) shardFor(host, s int) *shardState {
 	cl.hostMu.Lock()
 	defer cl.hostMu.Unlock()
 	return cl.hosts[host].shards[s]

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/analytics"
+	"repro/internal/edge"
 	"repro/internal/obs"
 )
 
@@ -52,9 +53,11 @@ type Server struct {
 func NewServer(sched *Scheduler, cfg ServerConfig) *Server {
 	s := &Server{sched: sched, cfg: cfg.withDefaults(), mux: http.NewServeMux(), started: time.Now()}
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/mutate", s.handleMutate)
 	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/admin/kill", s.handleKill)
+	s.mux.HandleFunc("/v1/admin/compact", s.handleCompact)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
 }
@@ -105,6 +108,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding query: %w", err))
 		return
 	}
+	if q.Job.Mutating() {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%s is not a query analytic: use POST /v1/mutate or /v1/admin/compact", q.Job.Analytic))
+		return
+	}
 	if q.Source != nil {
 		q.Job.Sources = append(q.Job.Sources, *q.Source)
 	}
@@ -145,6 +153,74 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	ctx, cancel := context.WithDeadline(r.Context(), deadline)
+	defer cancel()
+	view, ok := s.sched.Wait(ctx, id)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("job %s vanished", id))
+		return
+	}
+	s.writeView(w, view)
+}
+
+// mutateRequest is the POST /v1/mutate body: one ordered batch of edge
+// insertions and deletions (op 1 = insert, 2 = delete), with the same
+// wait/timeout transport options as /v1/query.
+type mutateRequest struct {
+	Mutations edge.Batch `json:"mutations"`
+	Wait      bool       `json:"wait,omitempty"`
+	TimeoutMS int64      `json:"timeout_ms,omitempty"`
+}
+
+// handleMutate admits one ingest batch. The batch is validated at
+// admission (op codes, endpoint bounds, batch size), ordered against
+// queries by the scheduler's serialized dispatch, and acknowledged only
+// after every shard applied its routed records; the response result
+// carries the graph epoch the batch created.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var q mutateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&q); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding mutation batch: %w", err))
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if q.TimeoutMS > 0 {
+		timeout = time.Duration(q.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	deadline := time.Now().Add(timeout)
+	job := &analytics.Job{Analytic: analytics.JobMutate, Mutations: q.Mutations}
+	id, err := s.sched.Submit(job, deadline)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrBadRequest):
+			writeError(w, http.StatusBadRequest, err)
+		case errors.Is(err, ErrQueueFull):
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrShuttingDown):
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	if !q.Wait {
+		view, _ := s.sched.Lookup(id)
+		status := http.StatusAccepted
+		if view.State.Terminal() {
+			status = http.StatusOK
+		}
+		writeJSON(w, status, queryResponse{RequestView: view})
+		return
+	}
 	ctx, cancel := context.WithDeadline(r.Context(), deadline)
 	defer cancel()
 	view, ok := s.sched.Wait(ctx, id)
@@ -201,6 +277,7 @@ type statsResponse struct {
 		AliveHosts   int     `json:"alive_hosts"`
 	} `json:"graph"`
 	Scheduler SchedStats           `json:"scheduler"`
+	Ingest    IngestStats          `json:"ingest"`
 	Failover  obs.FailoverSnapshot `json:"failover"`
 	JobsRun   uint64               `json:"jobs_run"`
 	UptimeSec float64              `json:"uptime_seconds"`
@@ -234,6 +311,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Graph.Generation = cl.Generation()
 	resp.Graph.AliveHosts = cl.AliveHosts()
 	resp.Scheduler = s.sched.Stats()
+	resp.Ingest = cl.IngestStats()
 	resp.Failover = cl.FailoverStats()
 	resp.JobsRun = cl.JobsRun()
 	resp.UptimeSec = time.Since(s.started).Seconds()
@@ -276,6 +354,28 @@ func (s *Server) handleKill(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"killed":      *body.Host,
 		"alive_hosts": s.sched.cl.AliveHosts(),
+	})
+}
+
+// handleCompact answers POST /v1/admin/compact {}: it materializes every
+// shard's overlay in the background (the old epoch keeps serving) and then
+// swaps the merged graphs in as the new bases through one serialized
+// compact job. "compacted": false means there was nothing to compact or a
+// mutation raced the merge — retry, or rely on auto-compaction.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	res, err := s.sched.cl.Compact()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"compacted": res.Compacted,
+		"swapped":   res.Applied,
+		"epoch":     res.Epoch,
 	})
 }
 

@@ -244,8 +244,7 @@ func (s *Scheduler) Submit(job *analytics.Job, deadline time.Time) (string, erro
 	if err := job.Validate(s.cl.NumVertices()); err != nil {
 		return "", fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	key := cacheKey(s.cl.Epoch(), job)
-	if res, ok := s.cache.Get(key); ok {
+	if res, ok := s.lookupCached(job); ok {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		if s.closed {
@@ -279,9 +278,21 @@ func (s *Scheduler) Submit(job *analytics.Job, deadline time.Time) (string, erro
 	r.state = StateQueued
 	s.queue = append(s.queue, r)
 	s.stats.Submitted++
-	s.stats.CacheMisses++
+	if !job.Mutating() {
+		s.stats.CacheMisses++
+	}
 	s.signal()
 	return r.id, nil
+}
+
+// lookupCached is the admission-time cache probe. Mutating jobs (ingest,
+// compaction) never consult the cache: a mutate must reach the cluster
+// even when a byte-identical batch was just acknowledged.
+func (s *Scheduler) lookupCached(job *analytics.Job) (*analytics.JobResult, bool) {
+	if job.Mutating() {
+		return nil, false
+	}
+	return s.cache.Get(cacheKey(s.cl.Epoch(), job))
 }
 
 // newRequestLocked allocates and registers a request record.
@@ -442,10 +453,22 @@ func (s *Scheduler) dispatch() {
 			return
 		}
 		merged := mergeBatch(batch)
+		if merged.Analytic == analytics.JobMutate && merged.MutationID == 0 {
+			// Assigned here — in the single-threaded dispatcher, one job at
+			// a time — so batch ids ascend in application order, and a
+			// requeued batch keeps its id (the replica replay watermarks
+			// turn the replay into a no-op).
+			merged.MutationID = s.cl.NextMutationID()
+		}
+		// The epoch the job runs under, captured before dispatch. complete
+		// caches under this key, never under the post-run epoch: a mutation
+		// or compaction racing a query's completion must not let the
+		// query's pre-mutation answer be cached for the new epoch.
+		epoch := s.cl.Epoch()
 		mark := s.cfg.Tracer.Now()
 		res, stats, err := s.cl.Run(merged)
 		s.cfg.Tracer.Span(SpanServeJob, mark, int64(len(batch)))
-		s.complete(batch, merged, res, stats, err)
+		s.complete(batch, merged, res, stats, err, epoch)
 	}
 }
 
@@ -475,6 +498,9 @@ func (s *Scheduler) take() ([]*request, bool) {
 		// hit/miss counters honest; DedupeHits meters this path.
 		for len(s.queue) > 0 {
 			head := s.queue[0]
+			if head.job.Mutating() {
+				break
+			}
 			res, ok := s.cache.Peek(cacheKey(s.cl.Epoch(), head.job))
 			if !ok {
 				break
@@ -564,9 +590,9 @@ func mergeBatch(batch []*request) *analytics.Job {
 }
 
 // complete distributes one finished SPMD job's outcome to the batch
-// members, feeding the result cache per member.
-func (s *Scheduler) complete(batch []*request, merged *analytics.Job, res *analytics.JobResult, stats JobStats, err error) {
-	epoch := s.cl.Epoch()
+// members, feeding the result cache per member under the epoch the job
+// was dispatched at (mutating jobs are never cached).
+func (s *Scheduler) complete(batch []*request, merged *analytics.Job, res *analytics.JobResult, stats JobStats, err error, epoch uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err != nil {
@@ -617,7 +643,9 @@ func (s *Scheduler) complete(batch []*request, merged *analytics.Job, res *analy
 				continue
 			}
 		}
-		s.cache.Put(cacheKey(epoch, r.job), member)
+		if !r.job.Mutating() {
+			s.cache.Put(cacheKey(epoch, r.job), member)
+		}
 		s.finishLocked(r, StateDone, member, nil)
 	}
 }
