@@ -34,6 +34,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -50,6 +51,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -63,6 +65,10 @@ func main() {
 		seed     = flag.Uint64("seed", 0xFACE, "partitioner seed")
 		replicas = flag.Int("replicas", 1, "hosts holding each shard (k>1 survives rank loss via failover)")
 		autoComp = flag.Int("auto-compact", 0, "compact the mutation overlay every n acknowledged batches (0 = admin-triggered only)")
+
+		storeDir  = flag.String("store", "", "persistent shard-store directory; boots from its manifest when one exists, skipping ingestion")
+		autoSnap  = flag.Bool("auto-snapshot", false, "persist a store snapshot after every full compaction (and once after the initial build)")
+		auditIntv = flag.Duration("audit-interval", 0, "background store audit pace: verify one replica file per interval (0 = no audit)")
 
 		queueCap = flag.Int("queue-cap", 64, "admission queue bound (beyond it requests get 429)")
 		batchMax = flag.Int("batch-max", 8, "max single-source queries coalesced into one multi-source run (1 = no batching)")
@@ -81,6 +87,36 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// A store directory with a valid manifest makes the daemon self-
+	// describing: the manifest fixes the shard/replica shape and the edge
+	// source becomes optional. Flags left at their defaults defer to it;
+	// explicitly set -ranks/-replicas are still passed through so a genuine
+	// mismatch fails loudly instead of silently reshaping the cluster.
+	bootFromStore := false
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		switch _, err := st.ReadManifest(); {
+		case err == nil:
+			bootFromStore = true
+		case !errors.Is(err, store.ErrNoManifest):
+			fatal(err)
+		}
+	}
+	if bootFromStore {
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if !explicit["ranks"] {
+			*ranks = 0
+		}
+		if !explicit["replicas"] {
+			*replicas = 0
+		}
+	}
+
 	var src core.EdgeSource
 	switch {
 	case *file != "" && *rmat != "":
@@ -98,8 +134,10 @@ func main() {
 			fatal(err)
 		}
 		src = core.SpecSource{Spec: spec}
+	case bootFromStore:
+		// The store manifest supplies the graph; no edge source needed.
 	default:
-		fatal(fmt.Errorf("one of -file or -rmat is required"))
+		fatal(fmt.Errorf("one of -file, -rmat, or a populated -store is required"))
 	}
 
 	if *pprofAddr != "" {
@@ -111,22 +149,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "graphd: pprof on http://%s/debug/pprof/\n", pa)
 	}
 
-	fmt.Fprintf(os.Stderr, "graphd: building resident graph on %d ranks...\n", *ranks)
+	if bootFromStore {
+		fmt.Fprintf(os.Stderr, "graphd: booting resident graph from store %s...\n", *storeDir)
+	} else {
+		fmt.Fprintf(os.Stderr, "graphd: building resident graph on %d ranks...\n", *ranks)
+	}
 	cl, err := serve.NewCluster(serve.ClusterConfig{
-		Ranks:       *ranks,
-		Threads:     *threads,
-		Source:      src,
-		Partition:   kind,
-		Seed:        *seed,
-		Epoch:       1,
-		Replicas:    *replicas,
-		AutoCompact: *autoComp,
+		Ranks:         *ranks,
+		Threads:       *threads,
+		Source:        src,
+		Partition:     kind,
+		Seed:          *seed,
+		Epoch:         1,
+		Replicas:      *replicas,
+		AutoCompact:   *autoComp,
+		StoreDir:      *storeDir,
+		AutoSnapshot:  *autoSnap,
+		AuditInterval: *auditIntv,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "graphd: resident graph ready: n=%d m=%d replicas=%d (built in %.3fs)\n",
-		cl.NumVertices(), cl.NumEdges(), cl.Replicas(), cl.BuildTime().Seconds())
+	fmt.Fprintf(os.Stderr, "graphd: resident graph ready: n=%d m=%d ranks=%d replicas=%d (%s in %.3fs)\n",
+		cl.NumVertices(), cl.NumEdges(), cl.Size(), cl.Replicas(),
+		map[bool]string{true: "loaded from store", false: "built"}[cl.BootedFromStore()],
+		cl.BuildTime().Seconds())
+	if *storeDir != "" && *autoSnap && !cl.BootedFromStore() {
+		// First boot of an auto-snapshotting daemon: persist the freshly
+		// built graph now so the next start can skip ingestion.
+		if res, err := cl.Snapshot(); err != nil {
+			fmt.Fprintf(os.Stderr, "graphd: initial snapshot: %v\n", err)
+		} else if !res.Persisted {
+			fmt.Fprintf(os.Stderr, "graphd: initial snapshot: %s\n", res.Detail)
+		} else {
+			fmt.Fprintf(os.Stderr, "graphd: initial snapshot committed (epoch %d, %d files)\n", res.Epoch, res.Applied)
+		}
+	}
 
 	sched := serve.NewScheduler(cl, serve.SchedConfig{
 		QueueCap: *queueCap,

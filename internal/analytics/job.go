@@ -59,6 +59,10 @@ type Job struct {
 	// further batch applied since (otherwise the compaction is a no-op and
 	// the caller retries).
 	CompactVersion uint64 `json:"compact_version,omitempty"`
+	// SnapshotEpoch is the store epoch a JobSnapshot descriptor persists
+	// under: every replica file of the snapshot is named by it and the
+	// manifest commits it.
+	SnapshotEpoch uint64 `json:"snapshot_epoch,omitempty"`
 }
 
 // Analytic names accepted by Job.Analytic.
@@ -76,13 +80,18 @@ const (
 	// with queries, but the serve layer intercepts them before Run.
 	JobMutate  = "mutate"
 	JobCompact = "compact"
+	// JobSnapshot persists every served shard to the node-local shard store
+	// and commits a manifest. It rides the serialized job stream like the
+	// other control jobs so a snapshot captures one consistent epoch.
+	JobSnapshot = "snapshot"
 )
 
-// Mutating reports whether the job alters graph state rather than reading
-// it (ingest and compaction). Mutating jobs are never cached, never
-// batched, and never answered from another job's result.
+// Mutating reports whether the job is a serve-layer control job rather
+// than a read-only analytic (ingest, compaction, snapshot — snapshot
+// reads graph state but mutates the store). Mutating jobs are never
+// cached, never batched, and never answered from another job's result.
 func (j *Job) Mutating() bool {
-	return j.Analytic == JobMutate || j.Analytic == JobCompact
+	return j.Analytic == JobMutate || j.Analytic == JobCompact || j.Analytic == JobSnapshot
 }
 
 // SourceRooted reports whether the analytic takes query vertices (and is
@@ -163,7 +172,7 @@ func (j *Job) Validate(n uint32) error {
 		if err := j.Mutations.Validate(n); err != nil {
 			return err
 		}
-	case JobCompact:
+	case JobCompact, JobSnapshot:
 	default:
 		return fmt.Errorf("analytics: unknown analytic %q", j.Analytic)
 	}
@@ -252,6 +261,11 @@ type JobResult struct {
 	// Compacted reports whether a compact job swapped every shard (false
 	// means a mutation raced the merge and the compaction was skipped).
 	Compacted bool `json:"compacted,omitempty"`
+	// Persisted reports whether a snapshot job committed its manifest;
+	// Detail carries its failure reason when it did not. Applied counts the
+	// replica files written and Epoch carries the committed store epoch.
+	Persisted bool   `json:"persisted,omitempty"`
+	Detail    string `json:"detail,omitempty"`
 }
 
 // ForSource projects a batched result down to the single-source answer for

@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestColdstartBenchArtifact is the restart-speedup pin CI runs: the
+// coldstart experiment builds a cluster from raw edges, snapshots it into
+// a store, reboots from the store, and writes a parseable BENCH_9.json
+// whose entries show the restart at least 10x faster than the cold build
+// with a byte-identical probe answer.
+func TestColdstartBenchArtifact(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.BenchPath = filepath.Join(t.TempDir(), "BENCH_9.json")
+	rep, err := Coldstart(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(ingestRanks(cfg))
+	if len(rep.Rows) != wantRows {
+		t.Fatalf("%d rows, want %d", len(rep.Rows), wantRows)
+	}
+	data, err := os.ReadFile(cfg.BenchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b ColdstartBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Experiment != "coldstart" || len(b.Entries) != wantRows {
+		t.Fatalf("artifact experiment %q with %d entries, want coldstart with %d", b.Experiment, len(b.Entries), wantRows)
+	}
+	for _, e := range b.Entries {
+		if e.BuildSecs <= 0 || e.RestoreSecs <= 0 || e.SnapshotSecs <= 0 {
+			t.Fatalf("entry ranks=%d has degenerate timings: %+v", e.Ranks, e)
+		}
+		// The acceptance bar for the store: rebooting from packed local
+		// shards must beat re-ingesting raw edges by at least an order of
+		// magnitude. The experiment floors the graph at 16k vertices so
+		// both sides are well above timer noise.
+		if e.Speedup < 10 {
+			t.Fatalf("entry ranks=%d restart speedup %.1fx, want >= 10x (build %.3fs, restore %.3fs)",
+				e.Ranks, e.Speedup, e.BuildSecs, e.RestoreSecs)
+		}
+		if !e.ProbeMatch {
+			t.Fatalf("entry ranks=%d restored probe answer drifted", e.Ranks)
+		}
+		// One file per replica of each shard.
+		if want := uint64(e.Ranks * e.Replicas); e.Files != want {
+			t.Fatalf("entry ranks=%d manifest references %d files, want %d", e.Ranks, e.Files, want)
+		}
+		if e.Edges == 0 || e.Epoch == 0 {
+			t.Fatalf("entry ranks=%d reports empty graph metadata: %+v", e.Ranks, e)
+		}
+	}
+}

@@ -37,6 +37,7 @@ func Experiments() []Experiment {
 		{"hybrid", Hybrid},
 		{"delta", Delta},
 		{"ingest", Ingest},
+		{"coldstart", Coldstart},
 	}
 }
 

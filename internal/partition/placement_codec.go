@@ -1,0 +1,62 @@
+package partition
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Placement codec: the store manifest embeds the replica placement so a
+// shard set is self-describing — a booting cluster learns which hosts hold
+// which shards from the manifest alone. Placement is pure arithmetic over
+// (shards, ranks, replicas), so the encoding is those three words plus the
+// derived offset list; the decoder recomputes the offsets and rejects a
+// blob whose stored offsets disagree, so a manifest written by a future
+// placement policy cannot be silently misread as this one.
+
+// placementCodecVersion guards the wire layout below.
+const placementCodecVersion = 1
+
+// EncodePlacement packs a placement for the store manifest.
+func EncodePlacement(p *Placement) []byte {
+	out := make([]byte, 0, 16+4*len(p.offsets))
+	out = binary.LittleEndian.AppendUint32(out, placementCodecVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(p.shards))
+	out = binary.LittleEndian.AppendUint32(out, uint32(p.ranks))
+	out = binary.LittleEndian.AppendUint32(out, uint32(p.replicas))
+	for _, off := range p.offsets {
+		out = binary.LittleEndian.AppendUint32(out, uint32(off))
+	}
+	return out
+}
+
+// DecodePlacement is the inverse of EncodePlacement. Every field is
+// validated: the shape must reconstruct through NewPlacement and the stored
+// offsets must match the recomputed ones exactly.
+func DecodePlacement(b []byte) (*Placement, error) {
+	if len(b) < 16 {
+		return nil, fmt.Errorf("partition: placement blob truncated at %d bytes", len(b))
+	}
+	if v := binary.LittleEndian.Uint32(b[0:4]); v != placementCodecVersion {
+		return nil, fmt.Errorf("partition: unsupported placement codec version %d", v)
+	}
+	shards := binary.LittleEndian.Uint32(b[4:8])
+	ranks := binary.LittleEndian.Uint32(b[8:12])
+	replicas := binary.LittleEndian.Uint32(b[12:16])
+	const maxPlacement = 1 << 24 // a sanity bound far above any real rank count
+	if shards == 0 || shards > maxPlacement || ranks == 0 || ranks > maxPlacement {
+		return nil, fmt.Errorf("partition: placement shape %d shards / %d ranks out of range", shards, ranks)
+	}
+	if uint64(len(b)) != 16+4*uint64(replicas) {
+		return nil, fmt.Errorf("partition: placement blob is %d bytes for %d replicas", len(b), replicas)
+	}
+	p, err := NewPlacement(int(shards), int(ranks), int(replicas))
+	if err != nil {
+		return nil, err
+	}
+	for j, off := range p.offsets {
+		if got := binary.LittleEndian.Uint32(b[16+4*j:]); got != uint32(off) {
+			return nil, fmt.Errorf("partition: placement offset %d is %d, policy computes %d", j, got, off)
+		}
+	}
+	return p, nil
+}

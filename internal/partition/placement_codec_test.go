@@ -1,0 +1,82 @@
+package partition
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestPlacementCodecRoundTrip(t *testing.T) {
+	for _, shape := range [][3]int{{1, 1, 1}, {4, 4, 1}, {4, 4, 2}, {8, 8, 3}, {16, 16, 5}} {
+		p, err := NewPlacement(shape[0], shape[1], shape[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodePlacement(EncodePlacement(p))
+		if err != nil {
+			t.Fatalf("shape %v: %v", shape, err)
+		}
+		if got.Shards() != p.Shards() || got.Ranks() != p.Ranks() || got.Replicas() != p.Replicas() {
+			t.Fatalf("shape %v round-tripped to %d/%d/%d", shape, got.Shards(), got.Ranks(), got.Replicas())
+		}
+		for s := 0; s < p.Shards(); s++ {
+			if !equalInts(got.ReplicaRanks(s), p.ReplicaRanks(s)) {
+				t.Fatalf("shape %v: shard %d replica ranks drifted", shape, s)
+			}
+		}
+	}
+}
+
+func TestPlacementCodecRejects(t *testing.T) {
+	p, err := NewPlacement(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := EncodePlacement(p)
+
+	cases := map[string][]byte{
+		"truncated header": enc[:10],
+		"truncated body":   enc[:len(enc)-2],
+		"empty":            nil,
+	}
+	// Unknown version.
+	bad := bytes.Clone(enc)
+	binary.LittleEndian.PutUint32(bad[0:4], 9)
+	cases["unknown version"] = bad
+	// Zero ranks.
+	bad = bytes.Clone(enc)
+	binary.LittleEndian.PutUint32(bad[8:12], 0)
+	cases["zero ranks"] = bad
+	// Replica count lying about the body length.
+	bad = bytes.Clone(enc)
+	binary.LittleEndian.PutUint32(bad[12:16], 100)
+	cases["lying replica count"] = bad
+	// Offsets that disagree with the policy.
+	bad = bytes.Clone(enc)
+	binary.LittleEndian.PutUint32(bad[16+4:], 1)
+	cases["foreign offsets"] = bad
+	// More replicas than ranks.
+	if big, err2 := NewPlacement(4, 4, 4); err2 == nil {
+		raw := EncodePlacement(big)
+		binary.LittleEndian.PutUint32(raw[8:12], 2) // ranks < replicas
+		cases["replicas exceed ranks"] = raw
+	}
+
+	for name, b := range cases {
+		if _, err := DecodePlacement(b); err == nil {
+			t.Errorf("%s: decoded cleanly", name)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

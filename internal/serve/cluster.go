@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/partition"
+	"repro/internal/store"
 )
 
 // TransportFactory builds the slot transports for one compute-group
@@ -86,6 +87,23 @@ type ClusterConfig struct {
 	// replication). With k replicas the cluster survives any host losses
 	// that leave every shard at least one live replica.
 	Replicas int
+	// StoreDir, when non-empty, attaches a persistent shard store
+	// (internal/store) to the cluster. If the directory holds a valid
+	// manifest the cluster boots from it — every host loads its shard
+	// replicas from local files, skipping ingestion, partitioning, and the
+	// replication Alltoallv entirely — and the manifest's shard/replica
+	// shape is authoritative (Ranks and Replicas must be zero or match;
+	// Source may be nil and is ignored). Snapshot persists on demand.
+	StoreDir string
+	// AutoSnapshot, when set (and StoreDir is), persists a snapshot after
+	// every full compaction swap, so a restart replays at most the batches
+	// since the last compaction.
+	AutoSnapshot bool
+	// AuditInterval, when positive (and StoreDir is set), starts a
+	// background auditor that re-reads one stored replica file per interval,
+	// verifies its checksums, quarantines corrupt files, and re-replicates
+	// them from healthy sibling replicas.
+	AuditInterval time.Duration
 	// Transports, when non-nil, builds each generation's slot transports
 	// (e.g. a TCP mesh); nil selects the in-process group.
 	Transports TransportFactory
@@ -172,6 +190,26 @@ type Cluster struct {
 	placement *partition.Placement
 	failover  *obs.FailoverCounters
 
+	// Persistent shard store plumbing (snapshot.go). store and bootMan are
+	// fixed at construction; the snap* accumulator collects per-slot file
+	// digests during one snapshot job (reset by Snapshot before submission —
+	// the job stream is serialized, so at most one snapshot accumulates at a
+	// time).
+	store        *store.Store
+	bootMan      *store.Manifest
+	auditor      *store.Auditor
+	autoSnapshot bool
+	snapReq      chan struct{}
+	snapshots    atomic.Uint64
+	bootRepairs  atomic.Uint64
+	lastSnapEp   atomic.Uint64
+	lastSnapN    atomic.Uint64
+	lastSnapB    atomic.Uint64
+	snapMu       sync.Mutex
+	snapDigests  map[int]store.Digest
+	snapHosts    map[int][]int32
+	snapErrs     []string
+
 	submit chan *pending
 	quit   chan struct{}
 	dead   chan struct{}
@@ -204,11 +242,38 @@ type Cluster struct {
 // every slot parked in its dispatch loop. The returned cluster is ready
 // for Run.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	var st *store.Store
+	var man *store.Manifest
+	if cfg.StoreDir != "" {
+		var err error
+		st, err = store.Open(cfg.StoreDir)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		man, err = st.ReadManifest()
+		if err != nil && !errors.Is(err, store.ErrNoManifest) {
+			return nil, fmt.Errorf("serve: store manifest: %w", err)
+		}
+	}
+	if man != nil {
+		// A valid manifest is authoritative for the cluster shape: explicit
+		// Ranks/Replicas must agree with it (zero means adopt).
+		if cfg.Ranks != 0 && cfg.Ranks != man.Placement.Shards() {
+			return nil, fmt.Errorf("serve: configured %d ranks but the store manifest has %d shards",
+				cfg.Ranks, man.Placement.Shards())
+		}
+		cfg.Ranks = man.Placement.Shards()
+		if cfg.Replicas != 0 && cfg.Replicas != man.Placement.Replicas() {
+			return nil, fmt.Errorf("serve: configured %d replicas but the store manifest has %d",
+				cfg.Replicas, man.Placement.Replicas())
+		}
+		cfg.Replicas = man.Placement.Replicas()
+	}
 	if cfg.Ranks <= 0 {
 		return nil, fmt.Errorf("serve: cluster needs a positive rank count, got %d", cfg.Ranks)
 	}
-	if cfg.Source == nil {
-		return nil, fmt.Errorf("serve: cluster needs an edge source")
+	if cfg.Source == nil && man == nil {
+		return nil, fmt.Errorf("serve: cluster needs an edge source or a populated store")
 	}
 	k := cfg.Replicas
 	if k <= 0 {
@@ -230,14 +295,29 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		hosts:       make([]*hostState, cfg.Ranks),
 		autoCompact: cfg.AutoCompact,
 		compactReq:  make(chan struct{}, 1),
+
+		store:        st,
+		bootMan:      man,
+		autoSnapshot: cfg.AutoSnapshot && st != nil,
+		snapReq:      make(chan struct{}, 1),
 	}
 	cl.epoch.Store(cfg.Epoch)
+	if man != nil {
+		// Resume the persisted graph identity: logical epoch for cache keys,
+		// the ingest watermark so new batch ids keep ascending past every
+		// persisted batch.
+		cl.epoch.Store(man.Epoch)
+		cl.nextMutID.Store(man.Watermark)
+	}
 	for h := range cl.hosts {
 		cl.hosts[h] = &hostState{alive: true, shards: make(map[int]*shardState)}
 	}
 	cfg.Trace.Ensure(cfg.Ranks)
 	if cfg.AutoCompact > 0 {
 		go cl.compactManager()
+	}
+	if cl.autoSnapshot {
+		go cl.snapManager()
 	}
 
 	built := make(chan error, cfg.Ranks)
@@ -255,6 +335,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if buildErr != nil {
 		<-cl.dead
 		return nil, fmt.Errorf("serve: building resident graph: %w", buildErr)
+	}
+	if st != nil && cfg.AuditInterval > 0 {
+		cl.auditor = st.StartAuditor(cfg.AuditInterval)
 	}
 	return cl, nil
 }
@@ -332,6 +415,8 @@ func (cl *Cluster) rankLoop(ctx *core.Ctx, sc *slotState) error {
 			res, runErr = cl.runMutate(ctx, sc, job)
 		case analytics.JobCompact:
 			res, runErr = cl.runCompact(ctx, sc, job)
+		case analytics.JobSnapshot:
+			res, runErr = cl.runSnapshot(ctx, sc, job)
 		default:
 			var g *core.Graph
 			if g, runErr = sc.state.serveGraph(); runErr == nil {
@@ -446,6 +531,9 @@ func (cl *Cluster) downErr() error {
 func (cl *Cluster) Close() error {
 	cl.closeOnce.Do(func() { close(cl.quit) })
 	<-cl.dead
+	if cl.auditor != nil {
+		cl.auditor.Close()
+	}
 	cl.errMu.Lock()
 	defer cl.errMu.Unlock()
 	return cl.err

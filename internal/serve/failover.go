@@ -265,7 +265,29 @@ func (cl *Cluster) slotMain(cfg ClusterConfig, gen uint64, viewBytes []byte, c *
 	ctx := core.NewCtx(c, splitThreads(cfg.Threads, view.Collocated(int32(host))))
 
 	var st *shardState
-	if gen == 0 {
+	if gen == 0 && cl.bootMan != nil {
+		// Boot from the persistent shard store: every host loads its shard
+		// replicas from verified local files — no ingestion, no partitioning
+		// shuffle, no replication Alltoallv. A corrupt or missing file is
+		// quarantined and repaired from a healthy sibling replica before
+		// loading. At generation zero host == slot, so the primary is the
+		// host's own shard.
+		shards, err := cl.bootShards(host)
+		if err != nil {
+			return buildFail(err)
+		}
+		primary := shards[slot]
+		delete(shards, slot)
+		st = cl.storeShards(slot, primary, shards)
+		cl.fastForwardHost(host, cl.bootMan.Watermark)
+		if slot == 0 {
+			cl.n = primary.NGlobal
+			cl.m.Store(cl.bootMan.MGlobal)
+			cl.builtIn = time.Since(cl.start)
+		}
+		cl.buildOK.Add(1)
+		built <- nil
+	} else if gen == 0 {
 		n, err := core.ScanNumVertices(ctx, cfg.Source)
 		if err != nil {
 			return buildFail(err)
@@ -302,7 +324,7 @@ func (cl *Cluster) slotMain(cfg ClusterConfig, gen uint64, viewBytes []byte, c *
 			return fmt.Errorf("serve: host %d holds no replica of shard %d", host, slot)
 		}
 	}
-	sc := &slotState{state: st}
+	sc := &slotState{state: st, host: host}
 	// The host's lowest slot in this view filter-applies every mutate batch
 	// to the host's unserved backup replicas, so a later promotion serves a
 	// shard that never missed a batch.

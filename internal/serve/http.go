@@ -58,6 +58,7 @@ func NewServer(sched *Scheduler, cfg ServerConfig) *Server {
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/admin/kill", s.handleKill)
 	s.mux.HandleFunc("/v1/admin/compact", s.handleCompact)
+	s.mux.HandleFunc("/v1/admin/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
 }
@@ -279,6 +280,7 @@ type statsResponse struct {
 	Scheduler SchedStats           `json:"scheduler"`
 	Ingest    IngestStats          `json:"ingest"`
 	Failover  obs.FailoverSnapshot `json:"failover"`
+	Store     *StoreStats          `json:"store,omitempty"`
 	JobsRun   uint64               `json:"jobs_run"`
 	UptimeSec float64              `json:"uptime_seconds"`
 	LastJob   *lastJobJSON         `json:"last_job,omitempty"`
@@ -313,6 +315,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Scheduler = s.sched.Stats()
 	resp.Ingest = cl.IngestStats()
 	resp.Failover = cl.FailoverStats()
+	resp.Store = cl.StoreStats()
 	resp.JobsRun = cl.JobsRun()
 	resp.UptimeSec = time.Since(s.started).Seconds()
 	if js, ok := s.sched.LastJobStats(); ok {
@@ -376,6 +379,33 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 		"compacted": res.Compacted,
 		"swapped":   res.Applied,
 		"epoch":     res.Epoch,
+	})
+}
+
+// handleSnapshot answers POST /v1/admin/snapshot {}: it persists every
+// served shard (and every backup replica) into the attached store through
+// one serialized snapshot job and commits a manifest the daemon can boot
+// from. "persisted": false with a detail means an IO failure left the
+// previous manifest in place. 400 when the daemon has no -store.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	res, err := s.sched.cl.Snapshot()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if s.sched.cl.StoreStats() == nil {
+			status = http.StatusBadRequest // no -store attached
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"persisted": res.Persisted,
+		"files":     res.Applied,
+		"epoch":     res.Epoch,
+		"detail":    res.Detail,
 	})
 }
 

@@ -165,6 +165,7 @@ type backupRef struct {
 // mutate so a later promotion serves an up-to-date shard.
 type slotState struct {
 	state   *shardState
+	host    int
 	backups []backupRef
 }
 
@@ -267,6 +268,7 @@ func (cl *Cluster) runCompact(ctx *core.Ctx, sc *slotState, job *analytics.Job) 
 	if ctx.Rank() == 0 && full {
 		ep = cl.epoch.Add(1)
 		cl.compactions.Add(1)
+		cl.maybeAutoSnapshot()
 	}
 	return &analytics.JobResult{
 		Analytic:  analytics.JobCompact,

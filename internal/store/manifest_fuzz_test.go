@@ -1,0 +1,61 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"testing"
+)
+
+// sealBody appends a fresh seal to a (possibly mutated) manifest body.
+func sealBody(body []byte) []byte {
+	sum := sha256.Sum256(body)
+	return append(bytes.Clone(body), sum[:]...)
+}
+
+// FuzzManifestDecode hammers the manifest decoder: it must never panic or
+// allocate past the input, and anything it accepts must re-encode to the
+// identical sealed bytes (the codec is canonical). The seed corpus covers
+// the adversarial shapes a store directory can hold: a torn write
+// (truncations), a bitflipped seal, a bitflipped body, and lying interior
+// lengths.
+func FuzzManifestDecode(f *testing.F) {
+	valid, err := testManifest(f).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	// Torn writes at every phase boundary.
+	f.Add(valid[:4])
+	f.Add(valid[:36])
+	f.Add(valid[:len(valid)-sealSize])
+	f.Add(valid[:len(valid)-1])
+	// Bitflipped seal byte.
+	flip := bytes.Clone(valid)
+	flip[len(flip)-5] ^= 0x01
+	f.Add(flip)
+	// Bitflipped body byte (the seal catches it).
+	flip = bytes.Clone(valid)
+	flip[20] ^= 0x80
+	f.Add(flip)
+	// Lying partitioner length, freshly sealed so the length check (not
+	// the seal) must reject it.
+	lie := bytes.Clone(valid[:len(valid)-sealSize])
+	binary.LittleEndian.PutUint32(lie[36:40], 1<<31)
+	f.Add(sealBody(lie))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		enc, err := m.Encode()
+		if err != nil {
+			t.Fatalf("accepted manifest fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("manifest encoding is not canonical: %d vs %d bytes", len(enc), len(data))
+		}
+	})
+}

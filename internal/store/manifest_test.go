@@ -1,0 +1,174 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+// testManifest builds a representative manifest: 4 shards on 4 ranks,
+// 2 replicas, a real partitioner blob, mixed host lists.
+func testManifest(t testing.TB) *Manifest {
+	t.Helper()
+	pl, err := partition.NewPlacement(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := partition.Encode(partition.NewRandom(1024, 4, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Manifest{
+		Epoch:     9,
+		Watermark: 41,
+		NGlobal:   1024,
+		MGlobal:   8192,
+		Partition: pb,
+		Placement: pl,
+	}
+	for s := 0; s < 4; s++ {
+		e := ShardEntry{Digest: Digest{Size: uint64(1000 + s), CRC: uint32(0xC0DE + s)}}
+		for _, h := range pl.ReplicaRanks(s) {
+			e.Hosts = append(e.Hosts, int32(h))
+		}
+		m.Shards = append(m.Shards, e)
+	}
+	return m
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := testManifest(t)
+	enc, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeManifest(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != m.Epoch || got.Watermark != m.Watermark ||
+		got.NGlobal != m.NGlobal || got.MGlobal != m.MGlobal {
+		t.Fatalf("scalar drift: %+v", got)
+	}
+	if !bytes.Equal(got.Partition, m.Partition) {
+		t.Fatal("partitioner blob drifted")
+	}
+	if got.Placement.Shards() != 4 || got.Placement.Ranks() != 4 || got.Placement.Replicas() != 2 {
+		t.Fatalf("placement drift: %d/%d/%d",
+			got.Placement.Shards(), got.Placement.Ranks(), got.Placement.Replicas())
+	}
+	for s := range m.Shards {
+		if got.Shards[s].Digest != m.Shards[s].Digest {
+			t.Fatalf("shard %d digest drifted", s)
+		}
+		if len(got.Shards[s].Hosts) != len(m.Shards[s].Hosts) {
+			t.Fatalf("shard %d host list drifted", s)
+		}
+		for i, h := range m.Shards[s].Hosts {
+			if got.Shards[s].Hosts[i] != h {
+				t.Fatalf("shard %d host %d drifted", s, i)
+			}
+		}
+	}
+}
+
+func TestManifestSealCatchesEveryBitflip(t *testing.T) {
+	enc, err := testManifest(t).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a sampled bit in every region (body and seal both).
+	for off := 0; off < len(enc); off += 7 {
+		bad := bytes.Clone(enc)
+		bad[off] ^= 0x20
+		if _, err := DecodeManifest(bad); err == nil {
+			t.Fatalf("bitflip at byte %d decoded cleanly", off)
+		}
+	}
+}
+
+func TestManifestRejectsStructuralLies(t *testing.T) {
+	m := testManifest(t)
+	reseal := func(mutate func(body []byte) []byte) []byte {
+		enc, err := m.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := mutate(bytes.Clone(enc[:len(enc)-sealSize]))
+		sum := sha256.Sum256(body)
+		return append(body, sum[:]...)
+	}
+
+	cases := map[string][]byte{}
+	enc, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 10, 40, len(enc) - sealSize - 1, len(enc) - 1} {
+		cases[fmt.Sprintf("truncated at %d", cut)] = enc[:cut]
+	}
+	// A lying partitioner length, resealed so only the structural check can
+	// reject it.
+	cases["lying partitioner length"] = reseal(func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[36:40], 1<<30)
+		return b
+	})
+	// Duplicate host in a shard entry.
+	cases["duplicate host"] = func() []byte {
+		bad := *m
+		bad.Shards = append([]ShardEntry(nil), m.Shards...)
+		bad.Shards[0] = ShardEntry{Digest: m.Shards[0].Digest,
+			Hosts: []int32{m.Shards[0].Hosts[0], m.Shards[0].Hosts[0]}}
+		e, err := bad.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}()
+	// A host the placement says cannot hold the shard.
+	cases["host excluded by placement"] = func() []byte {
+		bad := *m
+		bad.Shards = append([]ShardEntry(nil), m.Shards...)
+		excluded := int32(-1)
+		for h := int32(0); h < 4; h++ {
+			if !m.Placement.HostsShard(int(h), 0) {
+				excluded = h
+				break
+			}
+		}
+		bad.Shards[0] = ShardEntry{Digest: m.Shards[0].Digest, Hosts: []int32{excluded}}
+		e, err := bad.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}()
+	// Trailing bytes before the seal.
+	cases["trailing bytes"] = reseal(func(b []byte) []byte { return append(b, 0xEE) })
+
+	for name, b := range cases {
+		if _, err := DecodeManifest(b); err == nil {
+			t.Errorf("%s: decoded cleanly", name)
+		}
+	}
+
+	// Encode-side validation: no placement, entry/shard mismatch, empty hosts.
+	if _, err := (&Manifest{}).Encode(); err == nil {
+		t.Error("manifest without placement encoded")
+	}
+	bad := *m
+	bad.Shards = m.Shards[:2]
+	if _, err := bad.Encode(); err == nil {
+		t.Error("manifest with missing shard entries encoded")
+	}
+	bad = *m
+	bad.Shards = append([]ShardEntry(nil), m.Shards...)
+	bad.Shards[1] = ShardEntry{Digest: m.Shards[1].Digest}
+	if _, err := bad.Encode(); err == nil {
+		t.Error("manifest with hostless shard encoded")
+	}
+}

