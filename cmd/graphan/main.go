@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	graphan -file crawl.bin -ranks 8 -threads 2 -part rand \
+//	graphan -file crawl.bin -ranks 8 -threads 2 -partition rand \
 //	        -analytics pr,lp,wcc,hc,kcore,scc
 package main
 
@@ -29,23 +29,26 @@ func main() {
 		file     = flag.String("file", "", "binary edge file (required)")
 		ranks    = flag.Int("ranks", 4, "number of ranks")
 		threads  = flag.Int("threads", 1, "worker threads per rank")
-		part     = flag.String("part", "np", "partitioning: np (vertex block), mp (edge block), rand")
 		list     = flag.String("analytics", "pr,lp,wcc,hc,kcore,scc", "comma-separated analytics")
 		prIters  = flag.Int("pr-iters", 10, "PageRank iterations")
 		lpIters  = flag.Int("lp-iters", 10, "Label Propagation iterations")
 		kcLevels = flag.Int("kcore-levels", 27, "k-core threshold levels")
 		topk     = flag.Int("hc-topk", 1, "harmonic centrality: number of top-degree vertices")
 	)
+	// The shared ParseKind-driven partitioning spec; -part stays as an
+	// alias. Under 2d, analytics that are 1d-only (pr, lp, kcore, scc)
+	// fail per-analytic with the layout error instead of computing on the
+	// wrong decomposition.
+	partFlag := &partition.Flag{Kind: partition.VertexBlock}
+	flag.Var(partFlag, "partition", partition.KindUsage)
+	flag.Var(partFlag, "part", "alias for -partition")
 	flag.Parse()
 	if *file == "" {
 		fmt.Fprintln(os.Stderr, "graphan: -file is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	kind, err := partition.ParseKind(*part)
-	if err != nil {
-		fatal(err)
-	}
+	kind := partFlag.Kind
 	reader, err := gio.Open(*file)
 	if err != nil {
 		fatal(err)

@@ -61,7 +61,6 @@ func main() {
 		threads  = flag.Int("threads", 0, "worker threads per rank (0 = NumCPU)")
 		file     = flag.String("file", "", "binary edge file to load")
 		rmat     = flag.String("rmat", "", "synthetic input: n,m,seed (R-MAT)")
-		part     = flag.String("part", "rand", "partitioning: np, mp, rand")
 		seed     = flag.Uint64("seed", 0xFACE, "partitioner seed")
 		replicas = flag.Int("replicas", 1, "hosts holding each shard (k>1 survives rank loss via failover)")
 		autoComp = flag.Int("auto-compact", 0, "compact the mutation overlay every n acknowledged batches (0 = admin-triggered only)")
@@ -78,14 +77,22 @@ func main() {
 
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060)")
 	)
+	// The shared ParseKind-driven partitioning spec (same spellings and
+	// fail-fast error as repro/tcprank); -part stays as an alias.
+	partFlag := &partition.Flag{Kind: partition.Random}
+	flag.Var(partFlag, "partition", partition.KindUsage)
+	flag.Var(partFlag, "part", "alias for -partition")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fatal(fmt.Errorf("unexpected arguments: %s", strings.Join(flag.Args(), " ")))
 	}
 
-	kind, err := partition.ParseKind(*part)
-	if err != nil {
-		fatal(err)
+	kind := partFlag.Kind
+	// The query layer routes point lookups by vertex owner and serves SSSP
+	// and PageRank, all of which assume a 1d layout; the checkerboard is an
+	// analytics-side layout, not a serving one.
+	if kind == partition.Grid2D {
+		fatal(fmt.Errorf("graphd does not serve the 2d checkerboard layout; pick a 1d partitioning (np, mp, rand, or pulp)"))
 	}
 
 	// A store directory with a valid manifest makes the daemon self-

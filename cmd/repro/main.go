@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/partition"
 )
 
 func main() {
@@ -44,6 +45,7 @@ func main() {
 		beta      = flag.Float64("beta", core.DefaultBeta, "pull->push switch threshold (return to top-down when frontier < vertices/beta)")
 		bench     = flag.String("bench", "", "write the hybrid/delta experiment's measurements as JSON (e.g. BENCH_5.json) to this path")
 		delta     = flag.Uint64("delta", 0, "extra fixed Δ-stepping bucket width for the delta experiment's sweep (0 = sweep only 1, mean, 2*mean)")
+		part      = flag.String("partition", "", "override the single-graph experiments' partitioning ("+partition.KindUsage+"; empty = per-experiment default; partition-sweep experiments ignore it)")
 	)
 	flag.Parse()
 	if *retries < 1 {
@@ -60,6 +62,17 @@ func main() {
 	if *alpha <= 0 || *beta <= 0 {
 		fmt.Fprintln(os.Stderr, "repro: -alpha and -beta must be > 0")
 		os.Exit(2)
+	}
+	// Same ParseKind spec as tcprank/graphd/graphan: bad spellings fail
+	// fast with the full list of valid kinds before any graph is built.
+	var partOverride *partition.Kind
+	if *part != "" {
+		k, err := partition.ParseKind(*part)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(2)
+		}
+		partOverride = &k
 	}
 
 	if *pprof != "" {
@@ -80,6 +93,7 @@ func main() {
 	cfg.Traverse = core.Traversal{Mode: mode, Alpha: *alpha, Beta: *beta}
 	cfg.BenchPath = *bench
 	cfg.Delta = *delta
+	cfg.Partition = partOverride
 	if *retries > 1 {
 		cfg.Retry = comm.DefaultRetryPolicy()
 		cfg.Retry.MaxAttempts = *retries

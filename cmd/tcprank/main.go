@@ -38,7 +38,6 @@ func main() {
 		file     = flag.String("file", "", "binary edge file on a shared filesystem")
 		rmat     = flag.String("rmat", "", "synthetic input: n,m,seed")
 		threads  = flag.Int("threads", 0, "worker threads (0 = NumCPU)")
-		part     = flag.String("part", "rand", "partitioning: np, mp, rand")
 		prIters  = flag.Int("pr-iters", 10, "PageRank iterations")
 		timeout  = flag.Duration("timeout", 30*time.Second, "mesh dial timeout")
 		trace    = flag.String("trace", "", "write this rank's Chrome trace_event JSON to this file (rank id is appended before the extension)")
@@ -57,6 +56,12 @@ func main() {
 		alpha     = flag.Float64("alpha", core.DefaultAlpha, "push->pull switch threshold; must agree across ranks")
 		beta      = flag.Float64("beta", core.DefaultBeta, "pull->push switch threshold; must agree across ranks")
 	)
+	// The partitioning flag is the shared ParseKind-driven spec: every
+	// binary accepts the same spellings and fails fast with the same list
+	// of valid kinds. -part is kept as an alias for older scripts.
+	partFlag := &partition.Flag{Kind: partition.Random}
+	flag.Var(partFlag, "partition", partition.KindUsage)
+	flag.Var(partFlag, "part", "alias for -partition")
 	flag.Parse()
 	addrList := strings.Split(*addrs, ",")
 	if *rank < 0 || *rank >= len(addrList) || *addrs == "" {
@@ -87,9 +92,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tcprank: -alpha and -beta must be > 0")
 		os.Exit(2)
 	}
-	kind, err := partition.ParseKind(*part)
-	if err != nil {
-		fatal(err)
+	kind := partFlag.Kind
+	// PageRank and exact k-core are 1d-only (the analytics layer gates
+	// them); under the 2d checkerboard this binary runs BFS+WCC instead,
+	// so the PageRank-shaped flags must be rejected up front.
+	if kind == partition.Grid2D && (*ckptEvery > 0 || *resume || *kcore) {
+		fmt.Fprintln(os.Stderr, "tcprank: -ckpt-every, -resume, and -kcore require a 1d partitioning (PageRank and exact k-core do not support the 2d checkerboard layout)")
+		os.Exit(2)
 	}
 
 	var src core.EdgeSource
@@ -171,6 +180,12 @@ func main() {
 	fmt.Printf("rank %d: built shard nloc=%d ngst=%d (construction %.3fs)\n",
 		*rank, g.NLoc, g.NGst, tm.Total().Seconds())
 
+	if kind == partition.Grid2D {
+		run2D(ctx, g, c, *rank)
+		finish(c, tracer, met, *trace, *rank)
+		return
+	}
+
 	prOpts := analytics.PageRankOptions{Iterations: *prIters, Damping: 0.85}
 	var ckptPath string
 	if *ckptEvery > 0 || *resume {
@@ -233,11 +248,40 @@ func main() {
 				time.Since(start).Seconds(), kc.MaxCore, kc.Buckets.Buckets, kc.Buckets.Extracted)
 		}
 	}
+	finish(c, tracer, met, *trace, *rank)
+}
+
+// run2D is the analytics path for the 2d checkerboard layout: PageRank and
+// exact k-core are gated to 1d, so the traversal analytics run instead.
+func run2D(ctx *core.Ctx, g *core.Graph, c *comm.Comm, rank int) {
+	start := time.Now()
+	bfs, err := analytics.BFS(ctx, g, 0, analytics.Und)
+	if err != nil {
+		fatal(err)
+	}
+	bfsTime := time.Since(start)
+	start = time.Now()
+	wcc, err := analytics.WCC(ctx, g)
+	if err != nil {
+		fatal(err)
+	}
+	wccTime := time.Since(start)
+	if rank == 0 {
+		r, cols := partition.GridDims(c.Size())
+		fmt.Printf("rank 0: 2d checkerboard (%dx%d grid): BFS(0) in %.3fs: reached %d, depth %d; WCC in %.3fs: %d components, largest %d\n",
+			r, cols, bfsTime.Seconds(), bfs.Reached, bfs.Depth, wccTime.Seconds(), wcc.NumComponents, wcc.LargestSize)
+		fmt.Println("rank 0: PageRank and exact k-core are 1d-only; skipped under -partition 2d")
+	}
+}
+
+// finish is the shared epilogue: the closing barrier, then this rank's
+// trace and metrics dumps.
+func finish(c *comm.Comm, tracer *obs.Tracer, met *obs.Metrics, trace string, rank int) {
 	if err := c.Barrier(); err != nil {
 		fatal(err)
 	}
 	if tracer != nil {
-		path := rankTracePath(*trace, *rank)
+		path := rankTracePath(trace, rank)
 		f, err := os.Create(path)
 		if err != nil {
 			fatal(err)
@@ -249,16 +293,16 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("rank %d: trace written to %s\n", *rank, path)
+		fmt.Printf("rank %d: trace written to %s\n", rank, path)
 	}
 	if met != nil {
-		mets := make([]*obs.Metrics, *rank+1)
-		mets[*rank] = met
+		mets := make([]*obs.Metrics, rank+1)
+		mets[rank] = met
 		if err := obs.WriteMetricsTable(os.Stdout, mets); err != nil {
 			fatal(err)
 		}
 	}
-	fmt.Printf("rank %d: done\n", *rank)
+	fmt.Printf("rank %d: done\n", rank)
 }
 
 // rankTracePath inserts the rank id before the path's extension:

@@ -61,6 +61,9 @@ func BFS(ctx *core.Ctx, g *core.Graph, root uint32, dir Dir) (*BFSResult, error)
 // composite analytics (WCC) share one halo between their traversal and
 // coloring phases instead of building it twice.
 func bfsWithHalo(ctx *core.Ctx, g *core.Graph, root uint32, dir Dir, halo *Halo) (*BFSResult, error) {
+	if g.Is2D() {
+		return bfs2D(ctx, g, root, dir)
+	}
 	if root >= g.NGlobal {
 		return nil, fmt.Errorf("analytics: BFS root %d outside %d vertices", root, g.NGlobal)
 	}

@@ -96,6 +96,9 @@ func buildSplit(ctx *core.Ctx, g *core.Graph, wts []uint64, delta uint64) *split
 // bucket, one Allreduce + claim exchange per light sub-round, one claim
 // exchange for the heavy phase.
 func SSSPDelta(ctx *core.Ctx, g *core.Graph, root uint32, w WeightFunc, delta uint64) (*SSSPResult, error) {
+	if err := require1D(g, "SSSP"); err != nil {
+		return nil, err
+	}
 	if root >= g.NGlobal {
 		return nil, fmt.Errorf("analytics: SSSP root %d outside %d vertices", root, g.NGlobal)
 	}

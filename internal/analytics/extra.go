@@ -143,6 +143,9 @@ func (o *EdgeOracle) Query(ctx *core.Ctx, queries [][2]uint32) ([]bool, error) {
 // distributed edge oracle. An edge closes a wedge if it exists in either
 // direction. Returns the estimate and the global number of wedges sampled.
 func ClusteringCoefficient(ctx *core.Ctx, g *core.Graph, samplesPerRank int, seed uint64) (float64, uint64, error) {
+	if err := require1D(g, "clustering coefficient"); err != nil {
+		return 0, 0, err
+	}
 	oracle := NewEdgeOracle(g)
 	x := rng.NewXoshiro256(seed, uint64(ctx.Rank()))
 

@@ -70,6 +70,9 @@ var DirsBoth = Dirs{Out: true, In: true}
 
 // BuildHalo constructs the retained queues for the given directions.
 func BuildHalo(ctx *core.Ctx, g *core.Graph, dirs Dirs) (*Halo, error) {
+	if err := require1D(g, "halo exchange"); err != nil {
+		return nil, err
+	}
 	p := ctx.Size()
 	nt := ctx.Pool.Threads()
 

@@ -25,6 +25,9 @@ type KCoreResult struct {
 // coloring plus a global census). Everything removed at level i is bounded
 // by coreness 2^i. The paper runs levels=27 on the full crawl.
 func KCoreApprox(ctx *core.Ctx, g *core.Graph, levels int) (*KCoreResult, error) {
+	if err := require1D(g, "k-core"); err != nil {
+		return nil, err
+	}
 	halo, err := BuildHalo(ctx, g, DirsBoth)
 	if err != nil {
 		return nil, err

@@ -38,6 +38,9 @@ type KCoreExactResult struct {
 // Collective structure per bucket: one Allreduce picking the bucket, one
 // Allreduce + decrement exchange per peel sub-round.
 func KCoreExact(ctx *core.Ctx, g *core.Graph) (*KCoreExactResult, error) {
+	if err := require1D(g, "exact k-core"); err != nil {
+		return nil, err
+	}
 	eng := newFrontierEngine(ctx, g, nil)
 	red, err := comm.AllreduceSlice(ctx.Comm, []uint64{uint64(g.NGst)}, comm.OpSum)
 	if err != nil {

@@ -39,6 +39,9 @@ type LabelPropResult struct {
 // breaks ties randomly, we pin them for determinism); ghost labels refresh
 // through the retained-queue halo.
 func LabelProp(ctx *core.Ctx, g *core.Graph, opts LabelPropOptions) (*LabelPropResult, error) {
+	if err := require1D(g, "LabelProp"); err != nil {
+		return nil, err
+	}
 	halo, err := BuildHalo(ctx, g, DirsBoth)
 	if err != nil {
 		return nil, err

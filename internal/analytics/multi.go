@@ -77,6 +77,9 @@ func MultiBFS(ctx *core.Ctx, g *core.Graph, roots []uint32, dir Dir) (*MultiBFSR
 	if err := checkRoots(g, roots, "MultiBFS"); err != nil {
 		return nil, err
 	}
+	if g.Is2D() {
+		return multiBFS2D(ctx, g, roots, dir)
+	}
 	k := len(roots)
 	status := make([][]int32, k)
 	for s := range status {
@@ -373,6 +376,9 @@ type MultiSSSPResult struct {
 // nothing once k distances ride behind it.
 func MultiSSSP(ctx *core.Ctx, g *core.Graph, roots []uint32, w WeightFunc) (*MultiSSSPResult, error) {
 	if err := checkRoots(g, roots, "MultiSSSP"); err != nil {
+		return nil, err
+	}
+	if err := require1D(g, "MultiSSSP"); err != nil {
 		return nil, err
 	}
 	k := len(roots)

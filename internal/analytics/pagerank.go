@@ -45,6 +45,9 @@ type PageRankResult struct {
 // ghost values refreshed through the retained-queue halo each iteration,
 // dangling mass redistributed uniformly.
 func PageRank(ctx *core.Ctx, g *core.Graph, opts PageRankOptions) (*PageRankResult, error) {
+	if err := require1D(g, "PageRank"); err != nil {
+		return nil, err
+	}
 	n := float64(g.NGlobal)
 	d := opts.Damping
 

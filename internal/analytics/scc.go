@@ -42,6 +42,9 @@ type LargestSCCResult struct {
 // Forward-Backward from a high-degree pivot, then decompose the remainder
 // by repeated forward max-coloring plus backward sweeps from color roots.
 func SCC(ctx *core.Ctx, g *core.Graph) (*SCCResult, error) {
+	if err := require1D(g, "SCC"); err != nil {
+		return nil, err
+	}
 	comp := make([]uint32, g.NLoc)
 	for v := range comp {
 		comp[v] = unassigned
@@ -83,6 +86,9 @@ func SCC(ctx *core.Ctx, g *core.Graph) (*SCCResult, error) {
 
 // LargestSCC runs only the paper's SCC analytic: trim plus one FW-BW sweep.
 func LargestSCC(ctx *core.Ctx, g *core.Graph) (*LargestSCCResult, error) {
+	if err := require1D(g, "SCC"); err != nil {
+		return nil, err
+	}
 	comp := make([]uint32, g.NLoc)
 	for v := range comp {
 		comp[v] = unassigned

@@ -91,6 +91,9 @@ func SSSP(ctx *core.Ctx, g *core.Graph, root uint32, w WeightFunc) (*SSSPResult,
 // makes it cheaper, as the engine's fused dense exchange: one packed claim
 // bit per halo slot followed by the claimed distances in slot order.
 func SSSPRounds(ctx *core.Ctx, g *core.Graph, root uint32, w WeightFunc) (*SSSPResult, error) {
+	if err := require1D(g, "SSSP"); err != nil {
+		return nil, err
+	}
 	if root >= g.NGlobal {
 		return nil, fmt.Errorf("analytics: SSSP root %d outside %d vertices", root, g.NGlobal)
 	}

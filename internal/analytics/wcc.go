@@ -49,6 +49,9 @@ func WCCSingleStage(ctx *core.Ctx, g *core.Graph) (*WCCResult, error) {
 }
 
 func wcc(ctx *core.Ctx, g *core.Graph, multistep bool) (*WCCResult, error) {
+	if g.Is2D() {
+		return wcc2D(ctx, g, multistep)
+	}
 	// The coloring phase always needs the DirsBoth halo; building it up
 	// front lets the BFS phase's adaptive engine reuse it for dense
 	// frontier exchanges instead of constructing its own.

@@ -16,6 +16,9 @@ import (
 // redistributed uniformly. Under UnitWeights this is bit-identical to
 // PageRank.
 func PageRankWeighted(ctx *core.Ctx, g *core.Graph, opts PageRankOptions, w WeightFunc) (*PageRankResult, error) {
+	if err := require1D(g, "weighted PageRank"); err != nil {
+		return nil, err
+	}
 	n := float64(g.NGlobal)
 	d := opts.Damping
 

@@ -1,0 +1,120 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// GridDesc is the 2D process-grid view every rank must agree on before a
+// checkerboard build: the r×c factorization, the global vertex count, and
+// the chunk boundaries mapping vertex ranges to grid positions (the
+// ghost-map analog — chunk k belongs to the rank at grid position
+// (k mod r, k div r), so the boundary array fixes both row and column
+// membership of every vertex). Rank 0 broadcasts its descriptor and every
+// rank verifies it against its own before any edge traffic flows, so a
+// group launched with drifting -partition/-n flags fails fast with a clear
+// error instead of silently building mismatched shards.
+type GridDesc struct {
+	// Rows and Cols are the grid factorization; Rows*Cols is the group
+	// size p.
+	Rows, Cols uint32
+	// N is the global vertex count.
+	N uint32
+	// Chunks holds the p+1 ascending chunk boundaries of the vertex
+	// space: chunk k spans [Chunks[k], Chunks[k+1]).
+	Chunks []uint32
+}
+
+const gridDescMagic = 0x47524431 // "GRD1"
+
+// maxGridRanks bounds the decoded grid size; far above any real group, low
+// enough that a corrupt header cannot drive a huge allocation.
+const maxGridRanks = 1 << 20
+
+// Encode serializes the descriptor as a little-endian frame.
+func (d *GridDesc) Encode() []byte {
+	buf := make([]byte, 0, 16+4*len(d.Chunks))
+	buf = binary.LittleEndian.AppendUint32(buf, gridDescMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, d.Rows)
+	buf = binary.LittleEndian.AppendUint32(buf, d.Cols)
+	buf = binary.LittleEndian.AppendUint32(buf, d.N)
+	for _, v := range d.Chunks {
+		buf = binary.LittleEndian.AppendUint32(buf, v)
+	}
+	return buf
+}
+
+// DecodeGridDesc parses and validates an encoded descriptor. Every
+// invariant the 2D build relies on is checked here: a non-degenerate
+// factorization within bounds, exactly p+1 chunk boundaries covering
+// [0, N] in non-decreasing order, and no trailing bytes.
+func DecodeGridDesc(b []byte) (*GridDesc, error) {
+	off := 0
+	u32 := func() (uint32, error) {
+		if off+4 > len(b) {
+			return 0, fmt.Errorf("comm: grid descriptor truncated at byte %d", off)
+		}
+		v := binary.LittleEndian.Uint32(b[off:])
+		off += 4
+		return v, nil
+	}
+	magic, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != gridDescMagic {
+		return nil, fmt.Errorf("comm: grid descriptor magic %#x, want %#x", magic, gridDescMagic)
+	}
+	rows, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	cols, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	n, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if rows == 0 || cols == 0 {
+		return nil, fmt.Errorf("comm: grid descriptor %dx%d", rows, cols)
+	}
+	p := uint64(rows) * uint64(cols)
+	if p > maxGridRanks {
+		return nil, fmt.Errorf("comm: grid descriptor %dx%d exceeds %d ranks", rows, cols, maxGridRanks)
+	}
+	if uint64(off)+4*(p+1) != uint64(len(b)) {
+		return nil, fmt.Errorf("comm: grid descriptor has %d body bytes, want %d", len(b)-off, 4*(p+1))
+	}
+	chunks := make([]uint32, p+1)
+	for i := range chunks {
+		chunks[i], err = u32()
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && chunks[i] < chunks[i-1] {
+			return nil, fmt.Errorf("comm: grid descriptor chunk %d decreases (%d < %d)", i, chunks[i], chunks[i-1])
+		}
+	}
+	if chunks[0] != 0 {
+		return nil, fmt.Errorf("comm: grid descriptor chunks start at %d", chunks[0])
+	}
+	if chunks[p] != n {
+		return nil, fmt.Errorf("comm: grid descriptor chunks end at %d, header says %d", chunks[p], n)
+	}
+	return &GridDesc{Rows: rows, Cols: cols, N: n, Chunks: chunks}, nil
+}
+
+// Equal reports whether two descriptors describe the same grid.
+func (d *GridDesc) Equal(o *GridDesc) bool {
+	if d.Rows != o.Rows || d.Cols != o.Cols || d.N != o.N || len(d.Chunks) != len(o.Chunks) {
+		return false
+	}
+	for i := range d.Chunks {
+		if d.Chunks[i] != o.Chunks[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,121 @@
+package comm
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func validGridDesc() *GridDesc {
+	return &GridDesc{Rows: 3, Cols: 2, N: 100, Chunks: []uint32{0, 17, 34, 50, 67, 84, 100}}
+}
+
+// TestGridDescRoundTrip property-checks the codec over representative
+// geometries, including empty chunks and a degenerate single-rank grid.
+func TestGridDescRoundTrip(t *testing.T) {
+	cases := []*GridDesc{
+		validGridDesc(),
+		{Rows: 1, Cols: 1, N: 0, Chunks: []uint32{0, 0}},
+		{Rows: 4, Cols: 2, N: 5, Chunks: []uint32{0, 1, 2, 3, 4, 5, 5, 5, 5}},
+		{Rows: 7, Cols: 1, N: 257, Chunks: []uint32{0, 37, 74, 111, 148, 185, 222, 257}},
+	}
+	for i, d := range cases {
+		got, err := DecodeGridDesc(d.Encode())
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !got.Equal(d) || !d.Equal(got) {
+			t.Fatalf("case %d: round trip mismatch: %+v vs %+v", i, got, d)
+		}
+	}
+}
+
+// TestGridDescDecodeRejects pins the validation failures one by one.
+func TestGridDescDecodeRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(b []byte) []byte
+		wantSub string
+	}{
+		{"empty", func(b []byte) []byte { return nil }, "truncated"},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, "magic"},
+		{"truncated header", func(b []byte) []byte { return b[:10] }, "truncated"},
+		{"truncated chunks", func(b []byte) []byte { return b[:len(b)-4] }, "body bytes"},
+		{"trailing bytes", func(b []byte) []byte { return append(b, 0xAA) }, "body bytes"},
+		{"zero rows", func(b []byte) []byte {
+			d := validGridDesc()
+			d.Rows = 0
+			return d.Encode()
+		}, "0x2"},
+		{"huge grid", func(b []byte) []byte {
+			return (&GridDesc{Rows: 1 << 16, Cols: 1 << 16, N: 1}).Encode()
+		}, "exceeds"},
+		{"decreasing chunks", func(b []byte) []byte {
+			d := validGridDesc()
+			d.Chunks[2] = 5
+			return d.Encode()
+		}, "decreases"},
+		{"nonzero first chunk", func(b []byte) []byte {
+			d := validGridDesc()
+			d.Chunks[0] = 1
+			return d.Encode()
+		}, "start at"},
+		{"last chunk below n", func(b []byte) []byte {
+			d := validGridDesc()
+			d.Chunks[len(d.Chunks)-1] = 99
+			return d.Encode()
+		}, "end at"},
+	}
+	for _, tc := range cases {
+		b := tc.mutate(validGridDesc().Encode())
+		_, err := DecodeGridDesc(b)
+		if err == nil {
+			t.Fatalf("%s: decode accepted invalid frame", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Fatalf("%s: error %q missing %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+func TestGridDescEqual(t *testing.T) {
+	a := validGridDesc()
+	for _, mutate := range []func(d *GridDesc){
+		func(d *GridDesc) { d.Rows = 6; d.Cols = 1 },
+		func(d *GridDesc) { d.N = 101; d.Chunks[len(d.Chunks)-1] = 101 },
+		func(d *GridDesc) { d.Chunks[3] = 51 },
+	} {
+		b := validGridDesc()
+		mutate(b)
+		if a.Equal(b) || b.Equal(a) {
+			t.Fatalf("mutated descriptor %+v compares equal to %+v", b, a)
+		}
+	}
+	if !a.Equal(validGridDesc()) {
+		t.Fatal("identical descriptors compare unequal")
+	}
+}
+
+// FuzzGridDescDecode drives the codec with arbitrary bytes: it must never
+// panic, and anything it accepts must re-encode and re-decode to an equal
+// descriptor (decode/encode/decode fixpoint) — the same discipline as
+// FuzzMembershipDecode.
+func FuzzGridDescDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(validGridDesc().Encode())
+	f.Add((&GridDesc{Rows: 1, Cols: 1, N: 0, Chunks: []uint32{0, 0}}).Encode())
+	f.Add((&GridDesc{Rows: 4, Cols: 2, N: 8, Chunks: []uint32{0, 1, 2, 3, 4, 5, 6, 7, 8}}).Encode())
+	f.Fuzz(func(t *testing.T, b []byte) {
+		d, err := DecodeGridDesc(b)
+		if err != nil {
+			return
+		}
+		again, err := DecodeGridDesc(d.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of accepted descriptor failed: %v", err)
+		}
+		if !again.Equal(d) || !reflect.DeepEqual(again.Chunks, d.Chunks) {
+			t.Fatalf("decode/encode/decode not a fixpoint: %+v vs %+v", again, d)
+		}
+	})
+}

@@ -1,0 +1,192 @@
+package comm
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestGridGroupCollectives runs real collectives over the row and column
+// sub-communicators of a 3×2 grid. Every rank executes the same sequence, so
+// all rows (and all columns) run their sub-group rounds in lockstep, each
+// mapping to one full-group parent round.
+func TestGridGroupCollectives(t *testing.T) {
+	const rows, cols = 3, 2
+	err := RunLocal(rows*cols, func(c *Comm) error {
+		g, err := NewGridGroup(c, rows, cols)
+		if err != nil {
+			return err
+		}
+		self := c.Rank()
+		i, j := self/cols, self%cols
+		if got := g.ColRanks[g.Col.Rank()]; got != self {
+			return fmt.Errorf("rank %d maps to column slot holding %d", self, got)
+		}
+		if got := g.RowRanks[g.Row.Rank()]; got != self {
+			return fmt.Errorf("rank %d maps to row slot holding %d", self, got)
+		}
+
+		// Column Allgatherv of each member's global rank reproduces ColRanks.
+		colAll, _, err := Allgatherv(g.Col, []uint32{uint32(self)})
+		if err != nil {
+			return err
+		}
+		if len(colAll) != rows {
+			return fmt.Errorf("column allgather returned %d entries", len(colAll))
+		}
+		for k, v := range colAll {
+			if int(v) != k*cols+j {
+				return fmt.Errorf("column slot %d = rank %d, want %d", k, v, k*cols+j)
+			}
+		}
+
+		// Row Allreduce sums the row's global ranks.
+		want := uint64(0)
+		for _, r := range g.RowRanks {
+			want += uint64(r)
+		}
+		sum, err := Allreduce(g.Row, uint64(self), OpSum)
+		if err != nil {
+			return err
+		}
+		if sum != want {
+			return fmt.Errorf("row sum %d, want %d", sum, want)
+		}
+
+		// Row Alltoallv: each member sends its grid coordinates to every row
+		// peer; everyone receives the same row back.
+		send := make([]uint32, 0, 2*cols)
+		counts := make([]int, cols)
+		for k := 0; k < cols; k++ {
+			send = append(send, uint32(i), uint32(j))
+			counts[k] = 2
+		}
+		recv, recvCounts, err := Alltoallv(g.Row, send, counts)
+		if err != nil {
+			return err
+		}
+		if len(recv) != 2*cols {
+			return fmt.Errorf("row alltoall returned %d words", len(recv))
+		}
+		for k := 0; k < cols; k++ {
+			if recvCounts[k] != 2 {
+				return fmt.Errorf("row alltoall count from slot %d = %d", k, recvCounts[k])
+			}
+			if int(recv[2*k]) != i || int(recv[2*k+1]) != k {
+				return fmt.Errorf("row peer %d reported position (%d,%d), want (%d,%d)",
+					k, recv[2*k], recv[2*k+1], i, k)
+			}
+		}
+
+		// The parent communicator still works after sub-group traffic.
+		total, err := Allreduce(c, uint64(1), OpSum)
+		if err != nil {
+			return err
+		}
+		if total != rows*cols {
+			return fmt.Errorf("parent allreduce %d, want %d", total, rows*cols)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupStatsCoverSubComms is the stats-reset regression pin: after
+// Group.ResetStats, a measured region's summed TakeStats must equal the
+// shared obs counters exactly, with sub-group rounds counted once — the
+// Sent-MiB == Stats invariant the harness asserts per experiment.
+func TestGroupStatsCoverSubComms(t *testing.T) {
+	const rows, cols = 2, 2
+	err := RunLocal(rows*cols, func(c *Comm) error {
+		g, err := NewGridGroup(c, rows, cols)
+		if err != nil {
+			return err
+		}
+		m := obs.NewMetrics()
+		g.SetMetrics(m)
+
+		run := func() error {
+			if _, _, err := Allgatherv(g.Col, []uint32{uint32(c.Rank()), 7}); err != nil {
+				return err
+			}
+			send := make([]uint32, 3*cols)
+			counts := make([]int, cols)
+			for k := range counts {
+				counts[k] = 3
+			}
+			if _, _, err := Alltoallv(g.Row, send, counts); err != nil {
+				return err
+			}
+			_, err := Allreduce(c, uint64(1), OpSum)
+			return err
+		}
+
+		// Warm-up traffic that the measured region must NOT include.
+		if err := run(); err != nil {
+			return err
+		}
+		g.ResetStats()
+		m.Reset()
+
+		// A reset group reports zero even though warm-up rounds ran on all
+		// three communicators (the regression: resetting only the parent left
+		// sub-comm counters carrying stale bytes into the region).
+		zero := g.TakeStats()
+		if zero.BytesSent != 0 || zero.Exchanges != 0 {
+			return fmt.Errorf("stats after reset: %d bytes, %d exchanges", zero.BytesSent, zero.Exchanges)
+		}
+		g.ResetStats()
+		m.Reset()
+
+		if err := run(); err != nil {
+			return err
+		}
+		s := g.TakeStats()
+		wire := m.Total().WireBytesOut
+		if s.BytesSent != wire {
+			return fmt.Errorf("rank %d: group stats sent %d bytes, obs counted %d", c.Rank(), s.BytesSent, wire)
+		}
+		if s.BytesSent == 0 && c.Size() > 1 {
+			return fmt.Errorf("measured region shipped no bytes")
+		}
+		// Three collectives ran: one on each communicator.
+		if s.Exchanges == 0 {
+			return fmt.Errorf("no exchanges recorded")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNewGroupValidation pins the membership error paths.
+func TestNewGroupValidation(t *testing.T) {
+	err := RunLocal(4, func(c *Comm) error {
+		if _, err := NewGridGroup(c, 3, 2); err == nil {
+			return fmt.Errorf("3x2 grid over 4 ranks accepted")
+		}
+		self := c.Rank()
+		if _, err := NewGroup(c, []int{3, 1}, []int{self}); err == nil {
+			return fmt.Errorf("descending row members accepted")
+		}
+		other := (self + 1) % 4
+		lo, hi := self, other
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if _, err := NewGroup(c, []int{lo, hi}, []int{other}); err == nil {
+			return fmt.Errorf("column group missing self accepted")
+		}
+		if _, err := NewGroup(c, []int{self, 9}, []int{self}); err == nil {
+			return fmt.Errorf("out-of-range member accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

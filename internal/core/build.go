@@ -53,6 +53,9 @@ func collectiveErr(ctx *Ctx, local error) error {
 // edge source under the given partitioner. It must be called collectively
 // by all ranks with identical src and an identically configured pt.
 func Build(ctx *Ctx, src EdgeSource, pt partition.Partitioner) (*Graph, Timings, error) {
+	if gp, ok := pt.(*partition.Grid); ok {
+		return buildGrid(ctx, src, gp)
+	}
 	var tm Timings
 	n := pt.NumVertices()
 	m := src.NumEdges()

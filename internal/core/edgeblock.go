@@ -143,6 +143,8 @@ func MakePartitioner(ctx *Ctx, src EdgeSource, kind partition.Kind, n uint32, se
 		return partition.NewRandom(n, ctx.Size(), seed), nil
 	case partition.PuLPKind:
 		return pulpPartitioner(ctx, src, n, seed)
+	case partition.Grid2D:
+		return partition.NewGrid(n, ctx.Size()), nil
 	default:
 		return nil, fmt.Errorf("core: unknown partition kind %v", kind)
 	}

@@ -53,8 +53,24 @@ type Graph struct {
 	// Part is the partitioner the graph was built with.
 	Part partition.Partitioner
 
+	// Grid, when non-nil, marks the shard as a 2D checkerboard layout:
+	// edges live in the grid-block CSRs of the layout (sources indexed by
+	// column-block id, destinations by global id) rather than in
+	// OutEdges/InEdges, which stay nil. The base index arrays OutIdx/InIdx
+	// still carry the true global degrees of the owned vertices (reduced
+	// over the grid column at build time), so degree-driven code such as
+	// WCC's pivot selection works unchanged, but neighbor iteration and
+	// the ghost/halo machinery do not apply — analytics without a 2D
+	// exchange path must reject grid shards via Is2D.
+	Grid *GridLayout
+
 	rank int
 }
+
+// Is2D reports whether the shard uses the 2D checkerboard layout. Analytics
+// that only implement the 1D ghost/halo exchange must fail fast on 2D
+// shards instead of touching the (nil) 1D edge arrays.
+func (g *Graph) Is2D() bool { return g.Grid != nil }
 
 // MOut returns the number of task-local out-edges.
 func (g *Graph) MOut() uint64 { return g.OutIdx[g.NLoc] }

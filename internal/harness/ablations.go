@@ -58,7 +58,7 @@ func Ablations(cfg Config) (*Report, error) {
 	}
 	var mu sync.Mutex
 	times := make([]time.Duration, len(variants))
-	err := cfg.buildForAnalytics(p, core.SpecSource{Spec: spec}, spec.NumVertices, partition.Random,
+	err := cfg.buildForAnalytics(p, core.SpecSource{Spec: spec}, spec.NumVertices, cfg.pick(partition.Random),
 		func(ctx *core.Ctx, g *core.Graph) error {
 			for i, v := range variants {
 				d, err := timeAnalytic(ctx, func() error { return v.run(ctx, g) })

@@ -20,7 +20,7 @@ func Degrees(cfg Config) (*Report, error) {
 	const nbins = 32
 	var outBins, inBins []uint64
 	var mu sync.Mutex
-	err := cfg.buildForAnalytics(p, core.SpecSource{Spec: spec}, spec.NumVertices, partition.VertexBlock,
+	err := cfg.buildForAnalytics(p, core.SpecSource{Spec: spec}, spec.NumVertices, cfg.pick(partition.VertexBlock),
 		func(ctx *core.Ctx, g *core.Graph) error {
 			localOut := make([]uint64, nbins)
 			localIn := make([]uint64, nbins)

@@ -89,7 +89,7 @@ func DeltaRaw(cfg Config, p int, graphName string, spec gen.Spec) ([]DeltaEntry,
 	}
 	perRank := make([][]meas, p)
 	var mu sync.Mutex
-	err := cfg.buildForAnalytics(p, core.SpecSource{Spec: spec}, spec.NumVertices, partition.VertexBlock,
+	err := cfg.buildForAnalytics(p, core.SpecSource{Spec: spec}, spec.NumVertices, cfg.pick(partition.VertexBlock),
 		func(ctx *core.Ctx, g *core.Graph) error {
 			w := analytics.HashWeights(cfg.Seed, deltaWeightMax)
 			ms := make([]meas, 0, len(variants))

@@ -42,7 +42,7 @@ func EndToEnd(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	tm, err := cfg.buildGraph(p, rd, spec.NumVertices, partition.VertexBlock,
+	tm, err := cfg.buildGraph(p, rd, spec.NumVertices, cfg.pick(partition.VertexBlock),
 		func(ctx *core.Ctx, g *core.Graph) error {
 			return runAllAnalytics(ctx, g, record)
 		})

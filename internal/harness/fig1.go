@@ -32,7 +32,7 @@ func Fig1(cfg Config) (*Report, error) {
 			var hcTime, prTime time.Duration
 			var sentHC, sentPR uint64
 			var mu sync.Mutex
-			err := cfg.buildForAnalytics(p, core.SpecSource{Spec: spec}, n, partition.VertexBlock,
+			err := cfg.buildForAnalytics(p, core.SpecSource{Spec: spec}, n, cfg.pick(partition.VertexBlock),
 				func(ctx *core.Ctx, g *core.Graph) error {
 					// Harmonic centrality of the top-degree vertex.
 					tops, err := analytics.TopDegree(ctx, g, 1)

@@ -36,7 +36,7 @@ func Fig4(cfg Config) (*Report, error) {
 		for _, ranks := range []int{1, p} {
 			var prT, wccT time.Duration
 			var mu sync.Mutex
-			err := cfg.buildForAnalytics(ranks, src, n, partition.Random,
+			err := cfg.buildForAnalytics(ranks, src, n, cfg.pick(partition.Random),
 				func(ctx *core.Ctx, g *core.Graph) error {
 					d, err := timeAnalytic(ctx, func() error {
 						_, err := analytics.PageRank(ctx, g, analytics.DefaultPageRank())

@@ -21,7 +21,7 @@ func Fig6(cfg Config) (*Report, error) {
 	counts := make(map[uint32]uint64)
 	var total uint64
 	var mu sync.Mutex
-	err := cfg.buildForAnalytics(p, core.SpecSource{Spec: spec}, spec.NumVertices, partition.VertexBlock,
+	err := cfg.buildForAnalytics(p, core.SpecSource{Spec: spec}, spec.NumVertices, cfg.pick(partition.VertexBlock),
 		func(ctx *core.Ctx, g *core.Graph) error {
 			res, err := analytics.KCoreApprox(ctx, g, levels)
 			if err != nil {

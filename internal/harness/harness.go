@@ -16,6 +16,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/partition"
 )
 
 // Config scales and shapes the experiments. Defaults (see Default) are
@@ -53,6 +54,11 @@ type Config struct {
 	// Delta, when non-zero, adds a fixed bucket-width variant to the delta
 	// experiment's Δ sweep (the sweep always runs Δ=1, auto, and 2·mean).
 	Delta uint64
+	// Partition, when non-nil, overrides the default partitioning of the
+	// single-graph experiments (the repro -partition flag). Experiments
+	// that sweep partition kinds as their independent variable (fig2,
+	// fig3, table4, partitions, scale2d) ignore it.
+	Partition *partition.Kind
 }
 
 // Default returns the laptop-scale configuration.
@@ -63,6 +69,15 @@ func Default() Config {
 		Threads: 1,
 		Seed:    0xC0FFEE,
 	}
+}
+
+// pick returns the experiment's default partitioning unless the user
+// overrode it with -partition.
+func (cfg Config) pick(def partition.Kind) partition.Kind {
+	if cfg.Partition != nil {
+		return *cfg.Partition
+	}
+	return def
 }
 
 // scaled returns base scaled by cfg.Scale, at least min.

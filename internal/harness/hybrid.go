@@ -74,7 +74,7 @@ func HybridRaw(cfg Config, p int, graphName string, spec gen.Spec, modeName stri
 	}
 	meas := make([]rankMeas, p)
 	var mu sync.Mutex
-	err := cfg.buildForAnalytics(p, core.SpecSource{Spec: spec}, spec.NumVertices, partition.VertexBlock,
+	err := cfg.buildForAnalytics(p, core.SpecSource{Spec: spec}, spec.NumVertices, cfg.pick(partition.VertexBlock),
 		func(ctx *core.Ctx, g *core.Graph) error {
 			ctx.Traverse.Mode = mode
 			var rm rankMeas

@@ -25,7 +25,7 @@ func PriorWork(cfg Config) (*Report, error) {
 	}
 	var prPerIter, bfsTotal time.Duration
 	var mu sync.Mutex
-	err := cfg.buildForAnalytics(p, core.SpecSource{Spec: spec}, n, partition.VertexBlock,
+	err := cfg.buildForAnalytics(p, core.SpecSource{Spec: spec}, n, cfg.pick(partition.VertexBlock),
 		func(ctx *core.Ctx, g *core.Graph) error {
 			d, err := timeAnalytic(ctx, func() error {
 				_, err := analytics.PageRank(ctx, g, analytics.DefaultPageRank())

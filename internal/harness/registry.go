@@ -38,6 +38,7 @@ func Experiments() []Experiment {
 		{"delta", Delta},
 		{"ingest", Ingest},
 		{"coldstart", Coldstart},
+		{"scale2d", Scale2D},
 	}
 }
 

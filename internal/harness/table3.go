@@ -32,7 +32,7 @@ func Table3(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		tm, err := cfg.buildGraph(p, rd, spec.NumVertices, partition.VertexBlock, nil)
+		tm, err := cfg.buildGraph(p, rd, spec.NumVertices, cfg.pick(partition.VertexBlock), nil)
 		rd.Close()
 		if err != nil {
 			return nil, err

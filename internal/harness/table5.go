@@ -25,7 +25,7 @@ func Table5(cfg Config) (*Report, error) {
 	for i, iters := range []int{10, 30} {
 		var stats []analytics.CommunityStat
 		var mu sync.Mutex
-		err := cfg.buildForAnalytics(p, core.PlantedSource{Spec: spec}, spec.NumVertices, partition.Random,
+		err := cfg.buildForAnalytics(p, core.PlantedSource{Spec: spec}, spec.NumVertices, cfg.pick(partition.Random),
 			func(ctx *core.Ctx, g *core.Graph) error {
 				// Random tie-breaking, as in the paper's runs: it keeps the
 				// dynamics alive past early convergence and allows merges.
@@ -80,7 +80,7 @@ func Fig5(cfg Config) (*Report, error) {
 	p := cfg.maxRanks()
 	var dist []uint64
 	var mu sync.Mutex
-	err := cfg.buildForAnalytics(p, core.PlantedSource{Spec: spec}, spec.NumVertices, partition.Random,
+	err := cfg.buildForAnalytics(p, core.PlantedSource{Spec: spec}, spec.NumVertices, cfg.pick(partition.Random),
 		func(ctx *core.Ctx, g *core.Graph) error {
 			res, err := analytics.LabelProp(ctx, g, analytics.LabelPropOptions{Iterations: 30})
 			if err != nil {

@@ -25,6 +25,9 @@ func Encode(p Partitioner) ([]byte, error) {
 		for _, o := range pt.Owners() {
 			b = binary.LittleEndian.AppendUint32(b, uint32(o))
 		}
+	case *Grid:
+		b = binary.LittleEndian.AppendUint32(b, uint32(pt.Rows()))
+		b = binary.LittleEndian.AppendUint32(b, uint32(pt.Cols()))
 	default:
 		return nil, fmt.Errorf("partition: cannot encode %T", p)
 	}
@@ -76,6 +79,20 @@ func Decode(b []byte) (Partitioner, error) {
 			owners[i] = int32(binary.LittleEndian.Uint32(body[4*i:]))
 		}
 		return NewExplicit(owners, p)
+	case Grid2D:
+		if len(body) != 8 {
+			return nil, fmt.Errorf("partition: grid encoding has %d body bytes", len(body))
+		}
+		r := int(binary.LittleEndian.Uint32(body))
+		c := int(binary.LittleEndian.Uint32(body[4:]))
+		if r <= 0 || c <= 0 || r*c != p {
+			return nil, fmt.Errorf("partition: grid %dx%d for %d ranks", r, c, p)
+		}
+		g := NewGrid(n, p)
+		if g.Rows() != r || g.Cols() != c {
+			return nil, fmt.Errorf("partition: grid %dx%d, factorization gives %dx%d", r, c, g.Rows(), g.Cols())
+		}
+		return g, nil
 	default:
 		return nil, fmt.Errorf("partition: unknown encoded kind %d", kind)
 	}

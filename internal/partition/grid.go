@@ -1,0 +1,153 @@
+package partition
+
+import "fmt"
+
+// Grid2D identifies the 2D checkerboard strategy (Buluç & Madduri,
+// arXiv:1104.4518): edges are assigned to an r×c process grid while vertex
+// state lives on the owning "diagonal" chunk, so traversal collectives touch
+// O(r+c) ≈ O(√p) peers instead of O(p).
+const Grid2D Kind = 4
+
+// GridDims factors p ranks into an r×c process grid with c the largest
+// divisor of p not exceeding √p and r = p/c, so r ≥ c and the grid is as
+// square as p allows. Prime p degenerates to an r×1 column, which reduces
+// to the 1D exchange pattern.
+func GridDims(p int) (r, c int) {
+	c = 1
+	for d := 2; d*d <= p; d++ {
+		if p%d == 0 {
+			c = d
+		}
+	}
+	return p / c, c
+}
+
+// Grid is the 2D checkerboard partitioner. The global vertex space [0, n)
+// is split into p = r·c near-equal contiguous chunks (vertex-block over p).
+// The rank at grid position (i, j) — global rank id i·c + j — owns chunk
+// j·r + i, which makes the union of chunks owned by grid column j a single
+// contiguous range (the "column block" scanned during frontier expansion).
+// Ownership is arithmetic: no boundary array, no communication.
+type Grid struct {
+	n    uint32
+	r, c int
+	// chunk arithmetic: the first rem chunks have q+1 vertices, the rest q.
+	q, rem uint32
+}
+
+// NewGrid returns the checkerboard partitioner over n vertices and p ranks
+// using the GridDims factorization.
+func NewGrid(n uint32, p int) *Grid {
+	r, c := GridDims(p)
+	return &Grid{
+		n: n, r: r, c: c,
+		q:   uint32(uint64(n) / uint64(p)),
+		rem: uint32(uint64(n) % uint64(p)),
+	}
+}
+
+// Kind implements Partitioner.
+func (g *Grid) Kind() Kind { return Grid2D }
+
+// NumRanks implements Partitioner.
+func (g *Grid) NumRanks() int { return g.r * g.c }
+
+// NumVertices implements Partitioner.
+func (g *Grid) NumVertices() uint32 { return g.n }
+
+// Rows returns r, the number of grid rows.
+func (g *Grid) Rows() int { return g.r }
+
+// Cols returns c, the number of grid columns.
+func (g *Grid) Cols() int { return g.c }
+
+// RowOf returns the grid row of a global rank id.
+func (g *Grid) RowOf(rank int) int { return rank / g.c }
+
+// ColOf returns the grid column of a global rank id.
+func (g *Grid) ColOf(rank int) int { return rank % g.c }
+
+// RankAt returns the global rank id at grid position (row, col).
+func (g *Grid) RankAt(row, col int) int { return row*g.c + col }
+
+// ChunkOf returns the index (in [0, p)) of the chunk holding vertex v.
+func (g *Grid) ChunkOf(v uint32) uint32 {
+	head := uint64(g.rem) * uint64(g.q+1)
+	if uint64(v) < head {
+		return v / (g.q + 1)
+	}
+	return g.rem + uint32((uint64(v)-head)/uint64(g.q))
+}
+
+// ChunkBounds returns the half-open global vertex range of chunk k.
+func (g *Grid) ChunkBounds(k uint32) (lo, hi uint32) {
+	lo = k*g.q + minU32(k, g.rem)
+	hi = lo + g.q
+	if k < g.rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// ChunkOwned returns the chunk index owned by a global rank id: rank (i, j)
+// owns chunk j·r + i.
+func (g *Grid) ChunkOwned(rank int) uint32 {
+	return uint32(g.ColOf(rank)*g.r + g.RowOf(rank))
+}
+
+// OwnerOfChunk returns the global rank id owning chunk k.
+func (g *Grid) OwnerOfChunk(k uint32) int {
+	return g.RankAt(int(k)%g.r, int(k)/g.r)
+}
+
+// Owner implements Partitioner.
+func (g *Grid) Owner(v uint32) int { return g.OwnerOfChunk(g.ChunkOf(v)) }
+
+// OwnedBounds returns the contiguous global vertex range owned by rank.
+func (g *Grid) OwnedBounds(rank int) (lo, hi uint32) {
+	return g.ChunkBounds(g.ChunkOwned(rank))
+}
+
+// ColBounds returns the contiguous global range covered by grid column j's
+// owners (chunks j·r .. j·r+r-1): the block of sources every member of
+// column j holds edges for.
+func (g *Grid) ColBounds(col int) (lo, hi uint32) {
+	lo, _ = g.ChunkBounds(uint32(col * g.r))
+	_, hi = g.ChunkBounds(uint32(col*g.r + g.r - 1))
+	return lo, hi
+}
+
+// Owned implements Partitioner.
+func (g *Grid) Owned(rank int) []uint32 {
+	lo, hi := g.OwnedBounds(rank)
+	out := make([]uint32, 0, hi-lo)
+	for v := lo; v < hi; v++ {
+		out = append(out, v)
+	}
+	return out
+}
+
+// OwnedCount implements Partitioner.
+func (g *Grid) OwnedCount(rank int) uint32 {
+	lo, hi := g.OwnedBounds(rank)
+	return hi - lo
+}
+
+// Validate checks internal consistency (r·c == p and chunk coverage).
+func (g *Grid) Validate() error {
+	if g.r <= 0 || g.c <= 0 {
+		return fmt.Errorf("partition: grid %dx%d", g.r, g.c)
+	}
+	p := g.r * g.c
+	if _, hi := g.ChunkBounds(uint32(p - 1)); hi != g.n {
+		return fmt.Errorf("partition: grid chunks end at %d, want %d", hi, g.n)
+	}
+	return nil
+}
+
+func minU32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}

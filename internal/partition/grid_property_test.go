@@ -1,0 +1,210 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/edge"
+	"repro/internal/gen"
+)
+
+// propertyGraphs are the satellite property-test inputs: a skewed R-MAT
+// instance and a structured path, exercising both heavy-tailed and uniform
+// degree sequences.
+func propertyGraphs(t *testing.T) map[string]struct {
+	n     uint32
+	edges edge.List
+} {
+	t.Helper()
+	spec := gen.Spec{Kind: gen.RMAT, NumVertices: 512, NumEdges: 4096, Seed: 11}
+	rmat, err := spec.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var path edge.List
+	const pathN = 257 // prime-ish length so no p divides it evenly
+	for v := uint32(0); v+1 < pathN; v++ {
+		path.Push(v, v+1)
+	}
+	return map[string]struct {
+		n     uint32
+		edges edge.List
+	}{
+		"rmat": {spec.NumVertices, rmat},
+		"path": {pathN, path},
+	}
+}
+
+// makeKind constructs a partitioner of the given kind over the edge list,
+// the way each binary does: edge-block from measured degrees, PuLP from the
+// refinement, the rest analytically.
+func makeKind(t *testing.T, kind Kind, n uint32, edges edge.List, p int) Partitioner {
+	t.Helper()
+	switch kind {
+	case EdgeBlock:
+		degrees := make([]uint64, n)
+		for i := 0; i < edges.Len(); i++ {
+			degrees[edges.Src(i)]++
+			degrees[edges.Dst(i)]++
+		}
+		pt, err := NewEdgeBlockFromBounds(EdgeBlockBounds(degrees, p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pt
+	case PuLPKind:
+		pt, err := PuLP(n, edges, p, DefaultPuLP())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pt
+	case Grid2D:
+		return NewGrid(n, p)
+	case Random:
+		return NewRandom(n, p, 42)
+	default:
+		return NewVertexBlock(n, p)
+	}
+}
+
+// TestAllKindsPartitionInvariants is the satellite property test: every
+// partitioning strategy, on both graph families and a spread of rank counts
+// (including non-squares for the 2D grid), must produce a total, consistent,
+// deterministic ownership.
+func TestAllKindsPartitionInvariants(t *testing.T) {
+	kinds := []Kind{VertexBlock, EdgeBlock, Random, PuLPKind, Grid2D}
+	for name, g := range propertyGraphs(t) {
+		for _, p := range []int{1, 2, 4, 6, 7, 8, 12} {
+			for _, kind := range kinds {
+				t.Run(fmt.Sprintf("%s/p=%d/%v", name, p, kind), func(t *testing.T) {
+					pt := makeKind(t, kind, g.n, g.edges, p)
+					if pt.NumRanks() != p {
+						t.Fatalf("NumRanks = %d, want %d", pt.NumRanks(), p)
+					}
+					if pt.NumVertices() != g.n {
+						t.Fatalf("NumVertices = %d, want %d", pt.NumVertices(), g.n)
+					}
+					checkPartitioner(t, pt)
+					// Determinism: an independent construction from the same
+					// inputs assigns every vertex identically (the property
+					// that lets each rank derive the partition locally).
+					again := makeKind(t, kind, g.n, g.edges, p)
+					for v := uint32(0); v < g.n; v++ {
+						if pt.Owner(v) != again.Owner(v) {
+							t.Fatalf("owner of %d differs across constructions: %d vs %d",
+								v, pt.Owner(v), again.Owner(v))
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestGridDimsFactorization pins the process-grid factorization: r·c == p
+// always, with c the largest divisor not exceeding √p (so non-square p gets
+// the most square grid available, and primes degrade to a column of rows).
+func TestGridDimsFactorization(t *testing.T) {
+	for p := 1; p <= 64; p++ {
+		r, c := GridDims(p)
+		if r*c != p {
+			t.Fatalf("GridDims(%d) = %d×%d, product %d", p, r, c, r*c)
+		}
+		if c > r {
+			t.Fatalf("GridDims(%d) = %d×%d has more columns than rows", p, r, c)
+		}
+		if c*c > p {
+			t.Fatalf("GridDims(%d): c=%d exceeds √p", p, c)
+		}
+		// c is the largest such divisor.
+		for d := c + 1; d*d <= p; d++ {
+			if p%d == 0 {
+				t.Fatalf("GridDims(%d) chose c=%d but %d also divides", p, c, d)
+			}
+		}
+	}
+	if r, c := GridDims(7); r != 7 || c != 1 {
+		t.Fatalf("prime grid: GridDims(7) = %d×%d", r, c)
+	}
+	if r, c := GridDims(12); r != 4 || c != 3 {
+		t.Fatalf("GridDims(12) = %d×%d, want 4×3", r, c)
+	}
+}
+
+// TestGridGeometryConsistency checks the chunk/row/column arithmetic against
+// the enumerated layout.
+func TestGridGeometryConsistency(t *testing.T) {
+	for _, tc := range []struct {
+		n uint32
+		p int
+	}{{257, 6}, {512, 8}, {33, 12}, {5, 8}, {100, 7}} {
+		g := NewGrid(tc.n, tc.p)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("n=%d p=%d: %v", tc.n, tc.p, err)
+		}
+		r, c := g.Rows(), g.Cols()
+		for rank := 0; rank < tc.p; rank++ {
+			if g.RankAt(g.RowOf(rank), g.ColOf(rank)) != rank {
+				t.Fatalf("rank %d does not round-trip through grid coordinates", rank)
+			}
+			lo, hi := g.OwnedBounds(rank)
+			klo, khi := g.ChunkBounds(g.ChunkOwned(rank))
+			if lo != klo || hi != khi {
+				t.Fatalf("rank %d owned bounds [%d,%d) != chunk bounds [%d,%d)", rank, lo, hi, klo, khi)
+			}
+			for v := lo; v < hi; v++ {
+				if g.Owner(v) != rank {
+					t.Fatalf("vertex %d in rank %d's bounds owned by %d", v, rank, g.Owner(v))
+				}
+			}
+		}
+		// Each grid column's block is the contiguous union of its ranks'
+		// owned ranges (the property the 2D expand phase relies on).
+		for col := 0; col < c; col++ {
+			lo, hi := g.ColBounds(col)
+			var sum uint32
+			for row := 0; row < r; row++ {
+				rlo, rhi := g.OwnedBounds(g.RankAt(row, col))
+				if rlo < lo || rhi > hi {
+					t.Fatalf("col %d: rank (%d,%d) range [%d,%d) outside column block [%d,%d)",
+						col, row, col, rlo, rhi, lo, hi)
+				}
+				sum += rhi - rlo
+			}
+			if sum != hi-lo {
+				t.Fatalf("col %d: ranks cover %d of the %d-vertex column block", col, sum, hi-lo)
+			}
+		}
+	}
+}
+
+func TestGridCodecRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		n uint32
+		p int
+	}{{1, 1}, {257, 6}, {1 << 20, 12}} {
+		g := NewGrid(tc.n, tc.p)
+		b, err := Encode(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, ok := back.(*Grid)
+		if !ok {
+			t.Fatalf("decoded %T, want *Grid", back)
+		}
+		if h.NumVertices() != tc.n || h.NumRanks() != tc.p ||
+			h.Rows() != g.Rows() || h.Cols() != g.Cols() {
+			t.Fatalf("roundtrip changed geometry: %d×%d over %d vs %d×%d over %d",
+				h.Rows(), h.Cols(), h.NumVertices(), g.Rows(), g.Cols(), g.NumVertices())
+		}
+		for _, v := range []uint32{0, tc.n / 2, tc.n - 1} {
+			if h.Owner(v) != g.Owner(v) {
+				t.Fatalf("owner of %d changed across codec: %d vs %d", v, h.Owner(v), g.Owner(v))
+			}
+		}
+	}
+}

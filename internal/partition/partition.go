@@ -39,13 +39,21 @@ func (k Kind) String() string {
 		return "random"
 	case PuLPKind:
 		return "pulp"
+	case Grid2D:
+		return "2d"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
 
-// ParseKind converts a flag string (np|mp|rand, or the long names) to a
-// Kind.
+// KindUsage is the shared help text for the -partition flag registered by
+// every binary (repro, tcprank, graphd, graphan), so the accepted
+// spellings cannot drift between them.
+const KindUsage = "partitioning: np|vertex-block, mp|edge-block, rand|random, pulp, 2d|grid|checkerboard"
+
+// ParseKind converts a flag string (np|mp|rand|2d, or the long names) to a
+// Kind. Unknown spellings fail with the full list of valid kinds so every
+// binary's -partition flag fails fast with the same message.
 func ParseKind(s string) (Kind, error) {
 	switch s {
 	case "np", "vertex", "vertex-block":
@@ -56,9 +64,28 @@ func ParseKind(s string) (Kind, error) {
 		return Random, nil
 	case "pulp":
 		return PuLPKind, nil
+	case "2d", "grid", "checkerboard":
+		return Grid2D, nil
 	default:
-		return 0, fmt.Errorf("partition: unknown kind %q", s)
+		return 0, fmt.Errorf("partition: unknown kind %q (%s)", s, KindUsage)
 	}
+}
+
+// Flag is a flag.Value carrying a Kind, so every binary shares one
+// ParseKind-driven -partition spec instead of hand-rolled string flags.
+type Flag struct{ Kind Kind }
+
+// String implements flag.Value.
+func (f *Flag) String() string { return f.Kind.String() }
+
+// Set implements flag.Value via ParseKind.
+func (f *Flag) Set(s string) error {
+	k, err := ParseKind(s)
+	if err != nil {
+		return err
+	}
+	f.Kind = k
+	return nil
 }
 
 // Partitioner maps global vertices to owning ranks. Implementations are
@@ -254,6 +281,8 @@ func New(kind Kind, n uint32, p int, seed uint64, degrees []uint64) (Partitioner
 		return NewEdgeBlockFromBounds(bounds)
 	case Random:
 		return NewRandom(n, p, seed), nil
+	case Grid2D:
+		return NewGrid(n, p), nil
 	default:
 		return nil, fmt.Errorf("partition: unknown kind %v", kind)
 	}
